@@ -1,0 +1,97 @@
+// PII detection with verifiable explanations — the paper's motivating
+// industry scenario (Section I): a data-management system must flag
+// columns containing personally identifiable information before tables
+// are shared, and a data steward verifies each flag. ExplainTI's
+// explanations are what make that verification fast.
+//
+// This example trains ExplainTI on Web tables, flags every test column
+// whose predicted type is a person subtype as PII, and prints a
+// steward-ready review sheet: flag, confidence, and the explanation
+// evidence from all three views.
+
+#include <cstdio>
+#include <string>
+
+#include "core/explain_ti_model.h"
+#include "data/wiki_generator.h"
+#include "util/string_util.h"
+
+using explainti::core::ExplainTiConfig;
+using explainti::core::ExplainTiModel;
+using explainti::core::Explanation;
+using explainti::core::TaskKind;
+
+namespace {
+
+bool IsPiiLabel(const std::string& label_name) {
+  // Person names are PII; teams, locations and works are not.
+  return explainti::util::StartsWith(label_name, "person");
+}
+
+}  // namespace
+
+int main() {
+  explainti::data::WikiTableOptions data_options;
+  data_options.num_tables = 160;
+  explainti::data::TableCorpus corpus =
+      explainti::data::GenerateWikiTableCorpus(data_options);
+
+  ExplainTiConfig config;
+  config.epochs = 10;
+  ExplainTiModel model(config, corpus);
+  model.Fit();
+
+  const auto& task = model.task_data(TaskKind::kType);
+  int flagged = 0;
+  int correct_flags = 0;
+  int shown = 0;
+  std::printf("=== PII review sheet (columns flagged as person data) ===\n");
+  for (int id : task.test_ids) {
+    const Explanation z = model.Explain(TaskKind::kType, id);
+    bool pii = false;
+    std::string predicted_names;
+    for (int label : z.predicted_labels) {
+      const std::string& name = task.label_names[static_cast<size_t>(label)];
+      if (IsPiiLabel(name)) pii = true;
+      if (!predicted_names.empty()) predicted_names += ", ";
+      predicted_names += name;
+    }
+    if (!pii) continue;
+    ++flagged;
+
+    bool gold_pii = false;
+    for (int label : task.samples[static_cast<size_t>(id)].labels) {
+      if (IsPiiLabel(task.label_names[static_cast<size_t>(label)])) {
+        gold_pii = true;
+      }
+    }
+    if (gold_pii) ++correct_flags;
+
+    if (shown < 5) {  // Print the first few flags in full.
+      ++shown;
+      std::printf("\n[FLAG %d] %s\n", flagged, task.SampleText(id).c_str());
+      std::printf("  predicted: %s%s\n", predicted_names.c_str(),
+                  gold_pii ? "" : "   (FALSE POSITIVE)");
+      if (!z.local.empty()) {
+        std::printf("  why (local)      : \"%s\"\n", z.local[0].text.c_str());
+      }
+      if (!z.global.empty()) {
+        std::printf("  why (global)     : similar training column \"%s\"\n",
+                    z.global[0].text.c_str());
+      }
+      if (!z.structural.empty()) {
+        std::printf("  why (structural) : neighbour via %s \"%s\"\n",
+                    explainti::graph::BridgeKindName(z.structural[0].via),
+                    z.structural[0].text.c_str());
+      }
+    }
+  }
+
+  std::printf("\n=== summary ===\n");
+  std::printf("columns flagged as PII : %d\n", flagged);
+  if (flagged > 0) {
+    std::printf("flag precision         : %.1f%%\n",
+                100.0 * correct_flags / flagged);
+  }
+  return 0;
+}

@@ -1,0 +1,69 @@
+// Relation discovery on database-style exports: predict the semantic
+// relation between column pairs so downstream tools (BI dashboards,
+// schema matchers) can join and label data automatically — with the
+// pairwise local explanations (the paper's Figure 1(d)) shown alongside
+// each prediction so an engineer can sanity-check the inferred relations.
+
+#include <cstdio>
+
+#include "core/explain_ti_model.h"
+#include "data/wiki_generator.h"
+
+using explainti::core::ExplainTiConfig;
+using explainti::core::ExplainTiModel;
+using explainti::core::Explanation;
+using explainti::core::TaskKind;
+
+int main() {
+  explainti::data::WikiTableOptions data_options;
+  data_options.num_tables = 160;
+  explainti::data::TableCorpus corpus =
+      explainti::data::GenerateWikiTableCorpus(data_options);
+
+  ExplainTiConfig config;
+  config.epochs = 10;
+  ExplainTiModel model(config, corpus);
+  model.Fit();
+
+  const auto& task = model.task_data(TaskKind::kRelation);
+  const auto f1 =
+      model.Evaluate(TaskKind::kRelation, explainti::data::SplitPart::kTest);
+  std::printf("relation prediction test F1-weighted: %.3f\n\n", f1.weighted);
+
+  int shown = 0;
+  int correct = 0;
+  int total = 0;
+  for (int id : task.test_ids) {
+    const Explanation z = model.Explain(TaskKind::kRelation, id);
+    const int predicted = z.predicted_labels.front();
+    const int gold = task.samples[static_cast<size_t>(id)].labels.front();
+    ++total;
+    if (predicted == gold) ++correct;
+    if (shown >= 6) continue;
+    ++shown;
+
+    const explainti::data::RelationSample& sample =
+        corpus.relation_samples[static_cast<size_t>(id)];
+    const explainti::data::Table& table =
+        corpus.tables[static_cast<size_t>(sample.table_index)];
+    std::printf("table \"%s\": (%s, %s)\n", table.title.c_str(),
+                table.columns[static_cast<size_t>(sample.left_column)]
+                    .header.c_str(),
+                table.columns[static_cast<size_t>(sample.right_column)]
+                    .header.c_str());
+    std::printf("  predicted relation : %s  (gold: %s)\n",
+                task.label_names[static_cast<size_t>(predicted)].c_str(),
+                task.label_names[static_cast<size_t>(gold)].c_str());
+    if (!z.local.empty()) {
+      std::printf("  top pairwise phrase: \"%s\" (RS %.3f)\n",
+                  z.local[0].text.c_str(), z.local[0].relevance);
+    }
+    if (!z.structural.empty()) {
+      std::printf("  similar column pair: \"%s\" (AS %.3f)\n",
+                  z.structural[0].text.c_str(), z.structural[0].attention);
+    }
+    std::printf("\n");
+  }
+  std::printf("test accuracy: %d/%d\n", correct, total);
+  return 0;
+}

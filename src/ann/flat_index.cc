@@ -1,0 +1,60 @@
+#include "ann/flat_index.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace explainti::ann {
+
+namespace {
+
+void NormalizeInto(const std::vector<float>& in, float* out) {
+  double norm_sq = 0.0;
+  for (float v : in) norm_sq += static_cast<double>(v) * v;
+  const float inv = norm_sq > 1e-24
+                        ? static_cast<float>(1.0 / std::sqrt(norm_sq))
+                        : 0.0f;
+  for (size_t i = 0; i < in.size(); ++i) out[i] = in[i] * inv;
+}
+
+}  // namespace
+
+void FlatIndex::Add(int64_t id, const std::vector<float>& vector) {
+  if (dim_ == 0) dim_ = static_cast<int64_t>(vector.size());
+  CHECK_EQ(static_cast<int64_t>(vector.size()), dim_)
+      << "FlatIndex dimension mismatch";
+  ids_.push_back(id);
+  const size_t offset = vectors_.size();
+  vectors_.resize(offset + vector.size());
+  NormalizeInto(vector, vectors_.data() + offset);
+}
+
+std::vector<SearchResult> FlatIndex::Search(const std::vector<float>& query,
+                                            int k) const {
+  CHECK_EQ(static_cast<int64_t>(query.size()), dim_);
+  std::vector<float> q(query.size());
+  NormalizeInto(query, q.data());
+
+  std::vector<SearchResult> results;
+  results.reserve(ids_.size());
+  for (size_t i = 0; i < ids_.size(); ++i) {
+    const float* row = vectors_.data() + static_cast<int64_t>(i) * dim_;
+    float dot = 0.0f;
+    for (int64_t j = 0; j < dim_; ++j) dot += row[j] * q[j];
+    results.push_back(SearchResult{ids_[i], dot});
+  }
+  const size_t take = std::min<size_t>(static_cast<size_t>(std::max(k, 0)),
+                                       results.size());
+  std::partial_sort(results.begin(), results.begin() + take, results.end(),
+                    [](const SearchResult& a, const SearchResult& b) {
+                      if (a.similarity != b.similarity) {
+                        return a.similarity > b.similarity;
+                      }
+                      return a.id < b.id;
+                    });
+  results.resize(take);
+  return results;
+}
+
+}  // namespace explainti::ann

@@ -1,0 +1,32 @@
+#ifndef EXPLAINTI_ANN_FLAT_INDEX_H_
+#define EXPLAINTI_ANN_FLAT_INDEX_H_
+
+#include <vector>
+
+#include "ann/index.h"
+
+namespace explainti::ann {
+
+/// Exact brute-force index; O(N·d) per query.
+///
+/// The reference implementation the HNSW tests measure recall against, and
+/// a sensible choice for small embedding stores.
+class FlatIndex : public VectorIndex {
+ public:
+  FlatIndex() = default;
+
+  void Add(int64_t id, const std::vector<float>& vector) override;
+  std::vector<SearchResult> Search(const std::vector<float>& query,
+                                   int k) const override;
+  int64_t size() const override { return static_cast<int64_t>(ids_.size()); }
+  int64_t dim() const override { return dim_; }
+
+ private:
+  int64_t dim_ = 0;
+  std::vector<int64_t> ids_;
+  std::vector<float> vectors_;  // Row-major, L2-normalised.
+};
+
+}  // namespace explainti::ann
+
+#endif  // EXPLAINTI_ANN_FLAT_INDEX_H_

@@ -1,0 +1,218 @@
+#include "ann/hnsw_index.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace explainti::ann {
+
+namespace {
+
+void NormalizeInto(const std::vector<float>& in, float* out) {
+  double norm_sq = 0.0;
+  for (float v : in) norm_sq += static_cast<double>(v) * v;
+  const float inv = norm_sq > 1e-24
+                        ? static_cast<float>(1.0 / std::sqrt(norm_sq))
+                        : 0.0f;
+  for (size_t i = 0; i < in.size(); ++i) out[i] = in[i] * inv;
+}
+
+}  // namespace
+
+HnswIndex::HnswIndex(HnswOptions options)
+    : options_(options),
+      level_multiplier_(1.0 / std::log(static_cast<double>(options.M))),
+      rng_(options.seed) {
+  CHECK_GE(options.M, 2);
+  CHECK_GE(options.ef_construction, options.M);
+}
+
+float HnswIndex::Distance(const float* a, const float* b) const {
+  // Vectors are unit-norm: cosine distance = 1 - dot.
+  float dot = 0.0f;
+  for (int64_t j = 0; j < dim_; ++j) dot += a[j] * b[j];
+  return 1.0f - dot;
+}
+
+const float* HnswIndex::VectorOf(int node) const {
+  return vectors_.data() + static_cast<int64_t>(node) * dim_;
+}
+
+int HnswIndex::RandomLevel() {
+  const double u = std::max(rng_.Uniform(), 1e-12);
+  return static_cast<int>(-std::log(u) * level_multiplier_);
+}
+
+int HnswIndex::GreedyClosest(const float* query, int entry, int layer) const {
+  int current = entry;
+  float current_dist = Distance(query, VectorOf(current));
+  bool improved = true;
+  while (improved) {
+    improved = false;
+    for (int neighbor : links_[static_cast<size_t>(current)]
+                            .per_layer[static_cast<size_t>(layer)]) {
+      const float d = Distance(query, VectorOf(neighbor));
+      if (d < current_dist) {
+        current = neighbor;
+        current_dist = d;
+        improved = true;
+      }
+    }
+  }
+  return current;
+}
+
+std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
+                                                         int entry, int ef,
+                                                         int layer) const {
+  std::unordered_set<int> visited;
+  // Min-heap of frontier candidates (closest first).
+  std::priority_queue<Candidate, std::vector<Candidate>,
+                      std::greater<Candidate>>
+      frontier;
+  // Max-heap of current results (farthest first, for easy eviction).
+  std::priority_queue<Candidate> results;
+
+  const float entry_dist = Distance(query, VectorOf(entry));
+  frontier.push(Candidate{entry_dist, entry});
+  results.push(Candidate{entry_dist, entry});
+  visited.insert(entry);
+
+  while (!frontier.empty()) {
+    const Candidate closest = frontier.top();
+    frontier.pop();
+    if (closest.distance > results.top().distance &&
+        static_cast<int>(results.size()) >= ef) {
+      break;
+    }
+    for (int neighbor : links_[static_cast<size_t>(closest.node)]
+                            .per_layer[static_cast<size_t>(layer)]) {
+      if (!visited.insert(neighbor).second) continue;
+      const float d = Distance(query, VectorOf(neighbor));
+      if (static_cast<int>(results.size()) < ef ||
+          d < results.top().distance) {
+        frontier.push(Candidate{d, neighbor});
+        results.push(Candidate{d, neighbor});
+        if (static_cast<int>(results.size()) > ef) results.pop();
+      }
+    }
+  }
+
+  std::vector<Candidate> out;
+  out.reserve(results.size());
+  while (!results.empty()) {
+    out.push_back(results.top());
+    results.pop();
+  }
+  std::reverse(out.begin(), out.end());  // Closest first.
+  return out;
+}
+
+std::vector<int> HnswIndex::SelectNeighbors(std::vector<Candidate> candidates,
+                                            int m) {
+  std::sort(candidates.begin(), candidates.end());
+  std::vector<int> out;
+  out.reserve(static_cast<size_t>(m));
+  for (const Candidate& c : candidates) {
+    if (static_cast<int>(out.size()) >= m) break;
+    out.push_back(c.node);
+  }
+  return out;
+}
+
+void HnswIndex::Add(int64_t id, const std::vector<float>& vector) {
+  if (dim_ == 0) dim_ = static_cast<int64_t>(vector.size());
+  CHECK_EQ(static_cast<int64_t>(vector.size()), dim_)
+      << "HnswIndex dimension mismatch";
+
+  const int node = static_cast<int>(external_ids_.size());
+  external_ids_.push_back(id);
+  const size_t offset = vectors_.size();
+  vectors_.resize(offset + vector.size());
+  NormalizeInto(vector, vectors_.data() + offset);
+
+  const int level = RandomLevel();
+  links_.emplace_back();
+  links_.back().per_layer.resize(static_cast<size_t>(level) + 1);
+
+  if (entry_point_ < 0) {
+    entry_point_ = node;
+    max_level_ = level;
+    return;
+  }
+
+  const float* query = VectorOf(node);
+  int current = entry_point_;
+
+  // Descend greedily through layers above the new node's level.
+  for (int layer = max_level_; layer > level; --layer) {
+    current = GreedyClosest(query, current, layer);
+  }
+
+  // Insert with beam search on each shared layer.
+  for (int layer = std::min(level, max_level_); layer >= 0; --layer) {
+    std::vector<Candidate> candidates =
+        SearchLayer(query, current, options_.ef_construction, layer);
+    const int m_max = layer == 0 ? 2 * options_.M : options_.M;
+    std::vector<int> neighbors = SelectNeighbors(candidates, options_.M);
+
+    auto& node_links = links_[static_cast<size_t>(node)]
+                           .per_layer[static_cast<size_t>(layer)];
+    node_links = neighbors;
+
+    // Bidirectional links, shrinking over-full neighbour lists.
+    for (int neighbor : neighbors) {
+      auto& nbr_links = links_[static_cast<size_t>(neighbor)]
+                            .per_layer[static_cast<size_t>(layer)];
+      nbr_links.push_back(node);
+      if (static_cast<int>(nbr_links.size()) > m_max) {
+        std::vector<Candidate> pruned;
+        pruned.reserve(nbr_links.size());
+        const float* nbr_vec = VectorOf(neighbor);
+        for (int candidate : nbr_links) {
+          pruned.push_back(
+              Candidate{Distance(nbr_vec, VectorOf(candidate)), candidate});
+        }
+        nbr_links = SelectNeighbors(std::move(pruned), m_max);
+      }
+    }
+    if (!candidates.empty()) current = candidates.front().node;
+  }
+
+  if (level > max_level_) {
+    max_level_ = level;
+    entry_point_ = node;
+  }
+}
+
+std::vector<SearchResult> HnswIndex::Search(const std::vector<float>& query,
+                                            int k) const {
+  std::vector<SearchResult> out;
+  if (entry_point_ < 0 || k <= 0) return out;
+  CHECK_EQ(static_cast<int64_t>(query.size()), dim_);
+
+  std::vector<float> q(query.size());
+  NormalizeInto(query, q.data());
+
+  int current = entry_point_;
+  for (int layer = max_level_; layer > 0; --layer) {
+    current = GreedyClosest(q.data(), current, layer);
+  }
+  const int ef = std::max(options_.ef_search, k);
+  std::vector<Candidate> candidates = SearchLayer(q.data(), current, ef, 0);
+
+  const size_t take =
+      std::min(candidates.size(), static_cast<size_t>(k));
+  out.reserve(take);
+  for (size_t i = 0; i < take; ++i) {
+    out.push_back(SearchResult{external_ids_[static_cast<size_t>(
+                                   candidates[i].node)],
+                               1.0f - candidates[i].distance});
+  }
+  return out;
+}
+
+}  // namespace explainti::ann

@@ -1,0 +1,40 @@
+#ifndef EXPLAINTI_ANN_INDEX_H_
+#define EXPLAINTI_ANN_INDEX_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace explainti::ann {
+
+/// One nearest-neighbour hit: the id passed at Add() time and the cosine
+/// similarity to the query (higher is closer).
+struct SearchResult {
+  int64_t id = -1;
+  float similarity = 0.0f;
+};
+
+/// Interface for the embedding-store indexes used by Global Explanations
+/// (Algorithm 2). Vectors are compared by cosine similarity; every
+/// implementation stores L2-normalised copies internally.
+class VectorIndex {
+ public:
+  virtual ~VectorIndex() = default;
+
+  /// Inserts `vector` under `id`. Ids need not be dense but must be unique.
+  virtual void Add(int64_t id, const std::vector<float>& vector) = 0;
+
+  /// Top-k most-similar stored vectors, most similar first. Returns fewer
+  /// than k when the index holds fewer vectors.
+  virtual std::vector<SearchResult> Search(const std::vector<float>& query,
+                                           int k) const = 0;
+
+  /// Number of stored vectors.
+  virtual int64_t size() const = 0;
+
+  /// Vector dimensionality (0 until the first Add).
+  virtual int64_t dim() const = 0;
+};
+
+}  // namespace explainti::ann
+
+#endif  // EXPLAINTI_ANN_INDEX_H_

@@ -1,0 +1,152 @@
+#include "baselines/column_features.h"
+
+#include <cctype>
+#include <cmath>
+#include <unordered_set>
+
+#include "text/tokenizer.h"
+#include "util/logging.h"
+
+namespace explainti::baselines {
+
+namespace {
+
+constexpr char kCharset[] = "abcdefghijklmnopqrstuvwxyz0123456789";
+constexpr int kCharsetSize = 36;
+constexpr int kStatsSize = 9;
+
+uint64_t HashToken(const std::string& token) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a.
+  for (char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+}  // namespace
+
+ColumnFeatureExtractor::ColumnFeatureExtractor(int hash_dim)
+    : hash_dim_(hash_dim) {
+  CHECK_GT(hash_dim, 0);
+}
+
+int ColumnFeatureExtractor::dim() const {
+  return kCharsetSize + 1 + kStatsSize + hash_dim_;
+}
+
+std::vector<float> ColumnFeatureExtractor::Extract(
+    const std::vector<std::string>& cells) const {
+  std::vector<float> features(static_cast<size_t>(dim()), 0.0f);
+  if (cells.empty()) return features;
+
+  // -- Character distribution (kCharsetSize + 1 "other" bucket). ---------
+  int64_t char_total = 0;
+  for (const std::string& cell : cells) {
+    for (char raw : cell) {
+      const char c =
+          static_cast<char>(std::tolower(static_cast<unsigned char>(raw)));
+      ++char_total;
+      bool matched = false;
+      for (int i = 0; i < kCharsetSize; ++i) {
+        if (kCharset[i] == c) {
+          features[static_cast<size_t>(i)] += 1.0f;
+          matched = true;
+          break;
+        }
+      }
+      if (!matched) features[kCharsetSize] += 1.0f;
+    }
+  }
+  if (char_total > 0) {
+    for (int i = 0; i <= kCharsetSize; ++i) {
+      features[static_cast<size_t>(i)] /= static_cast<float>(char_total);
+    }
+  }
+
+  // -- Value statistics. ---------------------------------------------------
+  const size_t stats_base = kCharsetSize + 1;
+  double len_sum = 0.0;
+  double len_sq_sum = 0.0;
+  double word_sum = 0.0;
+  int numeric = 0;
+  int alphabetic = 0;
+  size_t max_len = 0;
+  size_t min_len = cells[0].size();
+  std::unordered_set<std::string> distinct;
+  for (const std::string& cell : cells) {
+    len_sum += static_cast<double>(cell.size());
+    len_sq_sum += static_cast<double>(cell.size()) * cell.size();
+    word_sum += static_cast<double>(text::BasicTokenize(cell).size());
+    bool all_digit = !cell.empty();
+    bool any_alpha = false;
+    for (char c : cell) {
+      if (!std::isdigit(static_cast<unsigned char>(c)) && c != '.' &&
+          c != '-') {
+        all_digit = false;
+      }
+      if (std::isalpha(static_cast<unsigned char>(c))) any_alpha = true;
+    }
+    if (all_digit) ++numeric;
+    if (any_alpha) ++alphabetic;
+    max_len = std::max(max_len, cell.size());
+    min_len = std::min(min_len, cell.size());
+    distinct.insert(cell);
+  }
+  const double n = static_cast<double>(cells.size());
+  const double mean_len = len_sum / n;
+  const double var_len = std::max(0.0, len_sq_sum / n - mean_len * mean_len);
+  features[stats_base + 0] = static_cast<float>(mean_len / 32.0);
+  features[stats_base + 1] = static_cast<float>(std::sqrt(var_len) / 16.0);
+  features[stats_base + 2] = static_cast<float>(word_sum / n / 8.0);
+  features[stats_base + 3] = static_cast<float>(numeric / n);
+  features[stats_base + 4] = static_cast<float>(alphabetic / n);
+  features[stats_base + 5] =
+      static_cast<float>(static_cast<double>(distinct.size()) / n);
+  features[stats_base + 6] = static_cast<float>(max_len) / 64.0f;
+  features[stats_base + 7] = static_cast<float>(min_len) / 64.0f;
+  features[stats_base + 8] = static_cast<float>(std::log1p(n) / 6.0);
+
+  // -- Hashed token bag. --------------------------------------------------------
+  const size_t hash_base = stats_base + kStatsSize;
+  int64_t token_total = 0;
+  for (const std::string& cell : cells) {
+    for (const std::string& token : text::BasicTokenize(cell)) {
+      const size_t bucket =
+          static_cast<size_t>(HashToken(token) % hash_dim_);
+      features[hash_base + bucket] += 1.0f;
+      ++token_total;
+    }
+  }
+  if (token_total > 0) {
+    for (int i = 0; i < hash_dim_; ++i) {
+      features[hash_base + static_cast<size_t>(i)] /=
+          static_cast<float>(token_total);
+    }
+  }
+  return features;
+}
+
+std::vector<float> ColumnFeatureExtractor::TableTopic(const data::Table& table,
+                                                      int topic_dim) const {
+  CHECK_GT(topic_dim, 0);
+  std::vector<float> topic(static_cast<size_t>(topic_dim), 0.0f);
+  int64_t total = 0;
+  auto add_text = [&](const std::string& textual) {
+    for (const std::string& token : text::BasicTokenize(textual)) {
+      topic[static_cast<size_t>(HashToken(token) % topic_dim)] += 1.0f;
+      ++total;
+    }
+  };
+  add_text(table.title);
+  for (const data::Column& column : table.columns) {
+    add_text(column.header);
+    for (const std::string& cell : column.cells) add_text(cell);
+  }
+  if (total > 0) {
+    for (float& v : topic) v /= static_cast<float>(total);
+  }
+  return topic;
+}
+
+}  // namespace explainti::baselines

@@ -1,0 +1,39 @@
+#ifndef EXPLAINTI_BASELINES_COLUMN_FEATURES_H_
+#define EXPLAINTI_BASELINES_COLUMN_FEATURES_H_
+
+#include <string>
+#include <vector>
+
+#include "data/table.h"
+
+namespace explainti::baselines {
+
+/// Hand-crafted column features in the style of Sherlock (Hulsebos et al.,
+/// KDD 2019): character distribution, value statistics, and a hashed
+/// bag-of-tokens — computed from *cell values only* (no header, no title),
+/// which is exactly why these baselines trail the transformer methods on
+/// context-dependent types.
+class ColumnFeatureExtractor {
+ public:
+  /// `hash_dim` buckets for the hashed token bag.
+  explicit ColumnFeatureExtractor(int hash_dim = 96);
+
+  /// Feature vector for one column's cells.
+  std::vector<float> Extract(const std::vector<std::string>& cells) const;
+
+  /// Table-level hashed bag-of-words over every cell in the table — the
+  /// topic-model stand-in used by the Sato baseline (LDA substitute; see
+  /// DESIGN.md).
+  std::vector<float> TableTopic(const data::Table& table,
+                                int topic_dim) const;
+
+  /// Dimensionality of Extract() output.
+  int dim() const;
+
+ private:
+  int hash_dim_;
+};
+
+}  // namespace explainti::baselines
+
+#endif  // EXPLAINTI_BASELINES_COLUMN_FEATURES_H_

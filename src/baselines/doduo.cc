@@ -1,0 +1,10 @@
+#include "baselines/doduo.h"
+
+namespace explainti::baselines {
+
+std::unique_ptr<TransformerBaseline> MakeDoduo(
+    TransformerBaselineConfig config) {
+  return std::make_unique<Doduo>(std::move(config));
+}
+
+}  // namespace explainti::baselines

@@ -1,0 +1,27 @@
+#ifndef EXPLAINTI_BASELINES_DODUO_H_
+#define EXPLAINTI_BASELINES_DODUO_H_
+
+#include <memory>
+
+#include "baselines/transformer_baseline.h"
+
+namespace explainti::baselines {
+
+/// Doduo (Suhara et al., SIGMOD 2022): a single pre-trained language model
+/// fine-tuned multi-task on column type and relation prediction over the
+/// plain column serialisation S(c) — exactly the TransformerBaseline
+/// defaults. Doduo is also the "Base" of the paper's efficiency analysis
+/// (Table V) and the host model for the post-hoc Saliency/Influence
+/// baselines (Table IV).
+class Doduo : public TransformerBaseline {
+ public:
+  explicit Doduo(TransformerBaselineConfig config)
+      : TransformerBaseline("Doduo", std::move(config)) {}
+};
+
+std::unique_ptr<TransformerBaseline> MakeDoduo(
+    TransformerBaselineConfig config);
+
+}  // namespace explainti::baselines
+
+#endif  // EXPLAINTI_BASELINES_DODUO_H_

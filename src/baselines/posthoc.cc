@@ -1,0 +1,89 @@
+#include "baselines/posthoc.h"
+
+#include <algorithm>
+
+#include "util/logging.h"
+
+namespace explainti::baselines {
+
+std::vector<std::string> SaliencyExplanation(const TransformerBaseline& model,
+                                             core::TaskKind kind,
+                                             int sample_id, int k) {
+  const core::TaskData& task = model.task_data(kind);
+  const core::TaskSample& sample =
+      task.samples[static_cast<size_t>(sample_id)];
+  const std::vector<float> scores = model.TokenSaliency(kind, sample_id);
+
+  std::vector<std::pair<float, size_t>> ranked;
+  for (size_t i = 0; i < scores.size(); ++i) {
+    const std::string& token = sample.seq.tokens[i];
+    if (!token.empty() && token[0] == '[') continue;  // Skip specials.
+    ranked.emplace_back(scores[i], i);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<std::string> out;
+  for (size_t i = 0; i < ranked.size() && static_cast<int>(i) < k; ++i) {
+    out.push_back(sample.seq.tokens[ranked[i].second]);
+  }
+  return out;
+}
+
+InfluenceFunctions::InfluenceFunctions(const TransformerBaseline& model,
+                                       core::TaskKind kind)
+    : model_(model), kind_(kind) {
+  const core::TaskData& task = model.task_data(kind);
+  train_ids_ = task.train_ids;
+  train_cls_.reserve(train_ids_.size());
+  train_residual_.reserve(train_ids_.size());
+  for (int id : train_ids_) {
+    train_cls_.push_back(model.ClsEmbedding(kind, id));
+    std::vector<float> residual = model.Probabilities(kind, id);
+    for (int label : task.samples[static_cast<size_t>(id)].labels) {
+      residual[static_cast<size_t>(label)] -= 1.0f;
+    }
+    train_residual_.push_back(std::move(residual));
+  }
+}
+
+std::vector<int> InfluenceFunctions::TopInfluential(int sample_id,
+                                                    int k) const {
+  const core::TaskData& task = model_.task_data(kind_);
+  const std::vector<float> cls = model_.ClsEmbedding(kind_, sample_id);
+  std::vector<float> residual = model_.Probabilities(kind_, sample_id);
+  // Pseudo-label the query with its own prediction (test labels unknown).
+  const int predicted = static_cast<int>(
+      std::max_element(residual.begin(), residual.end()) - residual.begin());
+  residual[static_cast<size_t>(predicted)] -= 1.0f;
+
+  std::vector<std::pair<float, int>> ranked;
+  ranked.reserve(train_ids_.size());
+  for (size_t i = 0; i < train_ids_.size(); ++i) {
+    if (train_ids_[i] == sample_id && task.IsTrainSample(sample_id)) continue;
+    double residual_dot = 0.0;
+    for (size_t c = 0; c < residual.size(); ++c) {
+      residual_dot += static_cast<double>(residual[c]) * train_residual_[i][c];
+    }
+    double cls_dot = 0.0;
+    for (size_t d = 0; d < cls.size(); ++d) {
+      cls_dot += static_cast<double>(cls[d]) * train_cls_[i][d];
+    }
+    ranked.emplace_back(static_cast<float>(residual_dot * cls_dot),
+                        train_ids_[i]);
+  }
+  std::sort(ranked.begin(), ranked.end(),
+            [](const auto& a, const auto& b) { return a.first > b.first; });
+
+  std::vector<int> out;
+  for (size_t i = 0; i < ranked.size() && static_cast<int>(i) < k; ++i) {
+    out.push_back(ranked[i].second);
+  }
+  return out;
+}
+
+std::string InfluenceFunctions::ExplanationText(int train_id) const {
+  return model_.task_data(kind_).SampleText(train_id);
+}
+
+}  // namespace explainti::baselines

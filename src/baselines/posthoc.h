@@ -1,0 +1,47 @@
+#ifndef EXPLAINTI_BASELINES_POSTHOC_H_
+#define EXPLAINTI_BASELINES_POSTHOC_H_
+
+#include <string>
+#include <vector>
+
+#include "baselines/transformer_baseline.h"
+
+namespace explainti::baselines {
+
+/// Saliency-map explanation (Simonyan et al., ICLR 2014): the top-k input
+/// tokens ranked by the gradient-times-input norm with respect to the
+/// model's predicted class. Post-hoc — applied to an already-trained
+/// transformer interpreter (Doduo in our Table IV setup).
+std::vector<std::string> SaliencyExplanation(const TransformerBaseline& model,
+                                             core::TaskKind kind,
+                                             int sample_id, int k);
+
+/// Influence Functions (Koh & Liang; applied to NLP by Han et al., ACL
+/// 2020) with the standard tractable simplification: identity Hessian and
+/// final-classifier-layer gradients only, so that
+///   influence(z_train, z_test) = <grad_W L(z_test), grad_W L(z_train)>
+///                              = ((p_te - y_te) . (p_tr - y_tr))
+///                                * (cls_te . cls_tr).
+/// Training-sample gradient factors are precomputed once.
+class InfluenceFunctions {
+ public:
+  InfluenceFunctions(const TransformerBaseline& model, core::TaskKind kind);
+
+  /// Training-sample ids ranked by influence alignment, most influential
+  /// first.
+  std::vector<int> TopInfluential(int sample_id, int k) const;
+
+  /// Serialised text of a training sample (for FRESH probes and display).
+  std::string ExplanationText(int train_id) const;
+
+ private:
+  const TransformerBaseline& model_;
+  core::TaskKind kind_;
+  std::vector<int> train_ids_;
+  std::vector<std::vector<float>> train_cls_;
+  std::vector<std::vector<float>> train_residual_;  // p - y per train sample.
+};
+
+}  // namespace explainti::baselines
+
+#endif  // EXPLAINTI_BASELINES_POSTHOC_H_

@@ -1,0 +1,65 @@
+#include "baselines/tabert.h"
+
+#include "text/vocab.h"
+
+namespace explainti::baselines {
+
+namespace {
+
+/// First-row cell of a column, or "" when the column is empty.
+const std::string& FirstCell(const data::Column& column) {
+  static const std::string kEmpty;
+  return column.cells.empty() ? kEmpty : column.cells[0];
+}
+
+}  // namespace
+
+text::EncodedSequence TaBert::SerializeType(
+    const data::TableCorpus& corpus, const data::TypeSample& sample) const {
+  const data::Table& table =
+      corpus.tables[static_cast<size_t>(sample.table_index)];
+  const data::Column& target =
+      table.columns[static_cast<size_t>(sample.column_index)];
+
+  text::SequenceBuilder builder(&tokenizer(), max_seq_len());
+  builder.AddSpecial(text::SpecialTokens::kCls, 0);
+  builder.AddText("title " + table.title, 0);
+  builder.AddText("header " + target.header, 0);
+  builder.AddText("cell " + FirstCell(target), 0);
+  builder.AddSpecial(text::SpecialTokens::kSep, 0);
+  // Content snapshot: header + first-row cell of every other column.
+  for (size_t c = 0; c < table.columns.size(); ++c) {
+    if (static_cast<int>(c) == sample.column_index) continue;
+    const data::Column& other = table.columns[c];
+    builder.AddText("row " + other.header + " " + FirstCell(other), 1);
+  }
+  return builder.Build();
+}
+
+text::EncodedSequence TaBert::SerializeRelation(
+    const data::TableCorpus& corpus,
+    const data::RelationSample& sample) const {
+  const data::Table& table =
+      corpus.tables[static_cast<size_t>(sample.table_index)];
+  const data::Column& left =
+      table.columns[static_cast<size_t>(sample.left_column)];
+  const data::Column& right =
+      table.columns[static_cast<size_t>(sample.right_column)];
+
+  text::SequenceBuilder builder(&tokenizer(), max_seq_len());
+  builder.AddSpecial(text::SpecialTokens::kCls, 0);
+  builder.AddText("title " + table.title, 0);
+  builder.AddText("header " + left.header, 0);
+  builder.AddText("cell " + FirstCell(left), 0);
+  builder.AddSpecial(text::SpecialTokens::kSep, 0);
+  builder.AddText("header " + right.header, 1);
+  builder.AddText("cell " + FirstCell(right), 1);
+  return builder.Build();
+}
+
+std::unique_ptr<TransformerBaseline> MakeTaBert(
+    TransformerBaselineConfig config) {
+  return std::make_unique<TaBert>(std::move(config));
+}
+
+}  // namespace explainti::baselines

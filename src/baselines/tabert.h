@@ -1,0 +1,35 @@
+#ifndef EXPLAINTI_BASELINES_TABERT_H_
+#define EXPLAINTI_BASELINES_TABERT_H_
+
+#include <memory>
+
+#include "baselines/transformer_baseline.h"
+
+namespace explainti::baselines {
+
+/// TaBERT (Yin et al., ACL 2020), scaled down: the table is linearised as
+/// a *content snapshot* — the headers of every column plus a single
+/// representative row — followed by the target column's header. Seeing one
+/// row instead of the column's value distribution is what puts TaBERT
+/// below the column-serialisation methods in Table III.
+class TaBert : public TransformerBaseline {
+ public:
+  explicit TaBert(TransformerBaselineConfig config)
+      : TransformerBaseline("TaBERT", std::move(config)) {}
+
+ protected:
+  text::EncodedSequence SerializeType(
+      const data::TableCorpus& corpus,
+      const data::TypeSample& sample) const override;
+
+  text::EncodedSequence SerializeRelation(
+      const data::TableCorpus& corpus,
+      const data::RelationSample& sample) const override;
+};
+
+std::unique_ptr<TransformerBaseline> MakeTaBert(
+    TransformerBaselineConfig config);
+
+}  // namespace explainti::baselines
+
+#endif  // EXPLAINTI_BASELINES_TABERT_H_

@@ -1,0 +1,36 @@
+#include "baselines/table_interpreter.h"
+
+#include "util/logging.h"
+
+namespace explainti::baselines {
+
+eval::F1Scores EvaluateInterpreter(const TableInterpreter& interpreter,
+                                   const data::TableCorpus& corpus,
+                                   core::TaskKind kind,
+                                   data::SplitPart part) {
+  CHECK(interpreter.HasTask(kind))
+      << interpreter.name() << " does not support task "
+      << core::TaskKindName(kind);
+  std::vector<int> ids = kind == core::TaskKind::kType
+                             ? corpus.TypeSampleIds(part)
+                             : corpus.RelationSampleIds(part);
+  const int num_labels =
+      kind == core::TaskKind::kType
+          ? static_cast<int>(corpus.type_label_names.size())
+          : static_cast<int>(corpus.relation_label_names.size());
+
+  std::vector<eval::LabeledPrediction> predictions;
+  predictions.reserve(ids.size());
+  for (int id : ids) {
+    eval::LabeledPrediction p;
+    p.gold = kind == core::TaskKind::kType
+                 ? corpus.type_samples[static_cast<size_t>(id)].labels
+                 : std::vector<int>{
+                       corpus.relation_samples[static_cast<size_t>(id)].label};
+    p.predicted = interpreter.Predict(kind, id);
+    predictions.push_back(std::move(p));
+  }
+  return eval::ComputeF1(predictions, num_labels);
+}
+
+}  // namespace explainti::baselines

@@ -1,0 +1,50 @@
+#ifndef EXPLAINTI_BASELINES_TABLE_INTERPRETER_H_
+#define EXPLAINTI_BASELINES_TABLE_INTERPRETER_H_
+
+#include <string>
+#include <vector>
+
+#include "core/task_data.h"
+#include "data/corpus.h"
+#include "eval/f1_metrics.h"
+
+namespace explainti::baselines {
+
+/// Common interface for every baseline table-interpretation system
+/// compared in Table III. `Fit` trains on the corpus's train split;
+/// `Predict` returns label ids for a sample index (corpus order).
+class TableInterpreter {
+ public:
+  explicit TableInterpreter(std::string name) : name_(std::move(name)) {}
+  virtual ~TableInterpreter() = default;
+
+  TableInterpreter(const TableInterpreter&) = delete;
+  TableInterpreter& operator=(const TableInterpreter&) = delete;
+
+  const std::string& name() const { return name_; }
+
+  /// Trains the system end-to-end on the corpus's training split.
+  virtual void Fit(const data::TableCorpus& corpus) = 0;
+
+  /// True when the system supports `kind` on the fitted corpus.
+  virtual bool HasTask(core::TaskKind kind) const = 0;
+
+  /// Predicted label ids for sample `sample_id` (index into the corpus's
+  /// type_samples or relation_samples).
+  virtual std::vector<int> Predict(core::TaskKind kind,
+                                   int sample_id) const = 0;
+
+ private:
+  std::string name_;
+};
+
+/// Evaluates any interpreter on one task/split of `corpus` with the
+/// paper's three F1 metrics.
+eval::F1Scores EvaluateInterpreter(const TableInterpreter& interpreter,
+                                   const data::TableCorpus& corpus,
+                                   core::TaskKind kind,
+                                   data::SplitPart part);
+
+}  // namespace explainti::baselines
+
+#endif  // EXPLAINTI_BASELINES_TABLE_INTERPRETER_H_

@@ -1,0 +1,148 @@
+#include "baselines/tcn.h"
+
+#include <unordered_map>
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace explainti::baselines {
+
+namespace {
+constexpr int kMaxInterNeighbors = 16;
+}  // namespace
+
+void Tcn::OnModelBuilt(const data::TableCorpus& /*corpus*/, int64_t d_model,
+                       util::Rng& /*rng*/) {
+  // ContextDim is consulted when the classification heads are sized, which
+  // happens before PrepareContext runs; record the width here.
+  d_model_ = d_model;
+}
+
+void Tcn::PrepareContext(const data::TableCorpus& corpus) {
+  util::Rng rng(config().seed + 77);
+
+  // -- Type task context. ------------------------------------------------
+  {
+    const core::TaskData& task = task_data(core::TaskKind::kType);
+    TaskContext& context = type_context_;
+    context.embeddings.resize(task.samples.size());
+    context.intra.assign(task.samples.size(), {});
+    context.inter.assign(task.samples.size(), {});
+    for (size_t i = 0; i < task.samples.size(); ++i) {
+      context.embeddings[i] = ClsEmbedding(core::TaskKind::kType,
+                                           static_cast<int>(i));
+    }
+    // Group samples by table (intra) and by column position (inter).
+    std::unordered_map<int, std::vector<int>> by_table;
+    std::unordered_map<int, std::vector<int>> by_position;
+    for (size_t i = 0; i < corpus.type_samples.size(); ++i) {
+      const data::TypeSample& s = corpus.type_samples[i];
+      by_table[s.table_index].push_back(static_cast<int>(i));
+      if (task.IsTrainSample(static_cast<int>(i))) {
+        by_position[s.column_index].push_back(static_cast<int>(i));
+      }
+    }
+    for (size_t i = 0; i < corpus.type_samples.size(); ++i) {
+      const data::TypeSample& s = corpus.type_samples[i];
+      for (int other : by_table[s.table_index]) {
+        if (other != static_cast<int>(i)) context.intra[i].push_back(other);
+      }
+      const auto& positional = by_position[s.column_index];
+      std::vector<int> candidates;
+      for (int other : positional) {
+        if (corpus.type_samples[static_cast<size_t>(other)].table_index !=
+            s.table_index) {
+          candidates.push_back(other);
+        }
+      }
+      if (static_cast<int>(candidates.size()) > kMaxInterNeighbors) {
+        rng.Shuffle(candidates);
+        candidates.resize(kMaxInterNeighbors);
+      }
+      context.inter[i] = std::move(candidates);
+    }
+  }
+
+  // -- Relation task context. -----------------------------------------------
+  if (HasTask(core::TaskKind::kRelation)) {
+    const core::TaskData& task = task_data(core::TaskKind::kRelation);
+    TaskContext& context = relation_context_;
+    context.embeddings.resize(task.samples.size());
+    context.intra.assign(task.samples.size(), {});
+    context.inter.assign(task.samples.size(), {});
+    for (size_t i = 0; i < task.samples.size(); ++i) {
+      context.embeddings[i] = ClsEmbedding(core::TaskKind::kRelation,
+                                           static_cast<int>(i));
+    }
+    std::unordered_map<int, std::vector<int>> by_table;
+    std::unordered_map<int64_t, std::vector<int>> by_position;
+    for (size_t i = 0; i < corpus.relation_samples.size(); ++i) {
+      const data::RelationSample& s = corpus.relation_samples[i];
+      by_table[s.table_index].push_back(static_cast<int>(i));
+      if (task.IsTrainSample(static_cast<int>(i))) {
+        const int64_t key = static_cast<int64_t>(s.left_column) * 1000 +
+                            s.right_column;
+        by_position[key].push_back(static_cast<int>(i));
+      }
+    }
+    for (size_t i = 0; i < corpus.relation_samples.size(); ++i) {
+      const data::RelationSample& s = corpus.relation_samples[i];
+      for (int other : by_table[s.table_index]) {
+        if (other != static_cast<int>(i)) context.intra[i].push_back(other);
+      }
+      const int64_t key =
+          static_cast<int64_t>(s.left_column) * 1000 + s.right_column;
+      std::vector<int> candidates;
+      for (int other : by_position[key]) {
+        if (corpus.relation_samples[static_cast<size_t>(other)].table_index !=
+            s.table_index) {
+          candidates.push_back(other);
+        }
+      }
+      if (static_cast<int>(candidates.size()) > kMaxInterNeighbors) {
+        rng.Shuffle(candidates);
+        candidates.resize(kMaxInterNeighbors);
+      }
+      context.inter[i] = std::move(candidates);
+    }
+  }
+}
+
+int Tcn::ContextDim(core::TaskKind /*kind*/) const {
+  return static_cast<int>(2 * d_model_);
+}
+
+std::vector<float> Tcn::MeanEmbedding(const TaskContext& context,
+                                      const std::vector<int>& ids) const {
+  std::vector<float> mean(static_cast<size_t>(d_model_), 0.0f);
+  if (ids.empty()) return mean;
+  for (int id : ids) {
+    const std::vector<float>& e = context.embeddings[static_cast<size_t>(id)];
+    for (int64_t j = 0; j < d_model_; ++j) {
+      mean[static_cast<size_t>(j)] += e[static_cast<size_t>(j)];
+    }
+  }
+  const float inv = 1.0f / static_cast<float>(ids.size());
+  for (float& v : mean) v *= inv;
+  return mean;
+}
+
+std::vector<float> Tcn::ContextFeatures(core::TaskKind kind,
+                                        int sample_id) const {
+  const TaskContext& context =
+      kind == core::TaskKind::kType ? type_context_ : relation_context_;
+  CHECK(!context.embeddings.empty())
+      << "TCN context queried before PrepareContext";
+  std::vector<float> features =
+      MeanEmbedding(context, context.intra[static_cast<size_t>(sample_id)]);
+  const std::vector<float> inter =
+      MeanEmbedding(context, context.inter[static_cast<size_t>(sample_id)]);
+  features.insert(features.end(), inter.begin(), inter.end());
+  return features;
+}
+
+std::unique_ptr<TransformerBaseline> MakeTcn(TransformerBaselineConfig config) {
+  return std::make_unique<Tcn>(std::move(config));
+}
+
+}  // namespace explainti::baselines

@@ -1,0 +1,58 @@
+#ifndef EXPLAINTI_BASELINES_TCN_H_
+#define EXPLAINTI_BASELINES_TCN_H_
+
+#include <memory>
+#include <unordered_map>
+#include <vector>
+
+#include "baselines/transformer_baseline.h"
+
+namespace explainti::baselines {
+
+/// TCN (Wang et al., WWW 2021), scaled down: augments each sample's [CLS]
+/// embedding with aggregated intra-table and inter-table context.
+///
+///  - intra-table: mean embedding of the *other* columns in the same table
+///    (same-row/column connections collapsed to column level);
+///  - inter-table: mean embedding of training columns at the *same column
+///    position* in other tables (TCN's positional implicit connection).
+///
+/// The positional signal is informative on Web tables (consistent schema
+/// layouts) and misleading on database tables (shuffled column order) —
+/// the mechanism behind TCN's collapse on GitTable in Table III.
+class Tcn : public TransformerBaseline {
+ public:
+  explicit Tcn(TransformerBaselineConfig config)
+      : TransformerBaseline("TCN", std::move(config)) {}
+
+ protected:
+  void OnModelBuilt(const data::TableCorpus& corpus, int64_t d_model,
+                    util::Rng& rng) override;
+  void PrepareContext(const data::TableCorpus& corpus) override;
+  int ContextDim(core::TaskKind kind) const override;
+  std::vector<float> ContextFeatures(core::TaskKind kind,
+                                     int sample_id) const override;
+
+ private:
+  struct TaskContext {
+    /// Post-pre-training [CLS] embedding per sample.
+    std::vector<std::vector<float>> embeddings;
+    /// sample -> other samples in the same table.
+    std::vector<std::vector<int>> intra;
+    /// sample -> training samples at the same column position elsewhere.
+    std::vector<std::vector<int>> inter;
+  };
+
+  std::vector<float> MeanEmbedding(const TaskContext& context,
+                                   const std::vector<int>& ids) const;
+
+  int64_t d_model_ = 0;
+  TaskContext type_context_;
+  TaskContext relation_context_;
+};
+
+std::unique_ptr<TransformerBaseline> MakeTcn(TransformerBaselineConfig config);
+
+}  // namespace explainti::baselines
+
+#endif  // EXPLAINTI_BASELINES_TCN_H_

@@ -1,0 +1,106 @@
+#include "baselines/turl.h"
+
+#include "text/vocab.h"
+#include "util/logging.h"
+
+namespace explainti::baselines {
+
+text::EncodedSequence Turl::SerializeType(
+    const data::TableCorpus& corpus, const data::TypeSample& sample) const {
+  const data::Table& table =
+      corpus.tables[static_cast<size_t>(sample.table_index)];
+  const data::Column& target =
+      table.columns[static_cast<size_t>(sample.column_index)];
+
+  text::SequenceBuilder builder(&tokenizer(), max_seq_len());
+  builder.AddSpecial(text::SpecialTokens::kCls, 0);
+  builder.AddText("title " + table.title, 0);
+  builder.AddSpecial(text::SpecialTokens::kSep, 0);
+  // Structural context: every column header.
+  for (const data::Column& column : table.columns) {
+    builder.AddText("header " + column.header, 0);
+  }
+  builder.AddSpecial(text::SpecialTokens::kSep, 0);
+  builder.AddText("cell", 1);
+  for (const std::string& cell : target.cells) {
+    if (builder.Remaining() <= 0) break;
+    builder.AddText(cell, 1);
+  }
+  return builder.Build();
+}
+
+text::EncodedSequence Turl::SerializeRelation(
+    const data::TableCorpus& corpus,
+    const data::RelationSample& sample) const {
+  const data::Table& table =
+      corpus.tables[static_cast<size_t>(sample.table_index)];
+  const data::Column& left =
+      table.columns[static_cast<size_t>(sample.left_column)];
+  const data::Column& right =
+      table.columns[static_cast<size_t>(sample.right_column)];
+
+  text::SequenceBuilder builder(&tokenizer(), max_seq_len());
+  builder.AddSpecial(text::SpecialTokens::kCls, 0);
+  builder.AddText("title " + table.title, 0);
+  builder.AddSpecial(text::SpecialTokens::kSep, 0);
+  for (const data::Column& column : table.columns) {
+    builder.AddText("header " + column.header, 0);
+  }
+  builder.AddSpecial(text::SpecialTokens::kSep, 0);
+  builder.AddText("cell " + left.header, 1);
+  for (size_t r = 0; r < left.cells.size() && builder.Remaining() > 8; ++r) {
+    builder.AddText(left.cells[r], 1);
+  }
+  builder.AddText("cell " + right.header, 1);
+  for (size_t r = 0; r < right.cells.size() && builder.Remaining() > 0; ++r) {
+    builder.AddText(right.cells[r], 1);
+  }
+  return builder.Build();
+}
+
+tensor::Tensor Turl::AttentionMask(core::TaskKind /*kind*/,
+                                   const core::TaskSample& sample) const {
+  // Regions delimited by the first two [SEP] tokens:
+  //   hub    = [0 .. sep1]      ([CLS] + title)
+  //   header = (sep1 .. sep2]   (column headers)
+  //   cells  = (sep2 .. L)      (target column values)
+  const int64_t len = static_cast<int64_t>(sample.seq.ids.size());
+  int sep1 = -1;
+  int sep2 = -1;
+  for (int64_t i = 0; i < len; ++i) {
+    if (sample.seq.ids[static_cast<size_t>(i)] == text::SpecialTokens::kSep) {
+      if (sep1 < 0) {
+        sep1 = static_cast<int>(i);
+      } else {
+        sep2 = static_cast<int>(i);
+        break;
+      }
+    }
+  }
+  if (sep1 < 0 || sep2 < 0) return tensor::Tensor();  // Degenerate: no mask.
+
+  constexpr float kBlocked = -1e9f;
+  std::vector<float> mask(static_cast<size_t>(len * len), 0.0f);
+  auto region = [&](int64_t i) {
+    if (i <= sep1) return 0;  // hub
+    if (i <= sep2) return 1;  // headers
+    return 2;                 // cells
+  };
+  for (int64_t i = 0; i < len; ++i) {
+    for (int64_t j = 0; j < len; ++j) {
+      const int ri = region(i);
+      const int rj = region(j);
+      const bool allowed =
+          ri == 0 || rj == 0 || ri == rj;  // Hub is globally visible.
+      if (!allowed) mask[static_cast<size_t>(i * len + j)] = kBlocked;
+    }
+  }
+  return tensor::Tensor::FromVector({len, len}, mask);
+}
+
+std::unique_ptr<TransformerBaseline> MakeTurl(
+    TransformerBaselineConfig config) {
+  return std::make_unique<Turl>(std::move(config));
+}
+
+}  // namespace explainti::baselines

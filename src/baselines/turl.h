@@ -1,0 +1,41 @@
+#ifndef EXPLAINTI_BASELINES_TURL_H_
+#define EXPLAINTI_BASELINES_TURL_H_
+
+#include <memory>
+
+#include "baselines/transformer_baseline.h"
+
+namespace explainti::baselines {
+
+/// TURL (Deng et al., VLDB 2020), scaled down: a structure-aware encoder.
+/// The serialisation carries the table's structural context (title + all
+/// column headers) before the target column, and a *visibility matrix*
+/// restricts attention the way TURL's masked self-attention does:
+///   - the [CLS]/title region attends everywhere (global hub);
+///   - the header region attends to the hub and itself;
+///   - target-column cells attend to the hub and themselves, but not to
+///     other columns' headers directly.
+class Turl : public TransformerBaseline {
+ public:
+  explicit Turl(TransformerBaselineConfig config)
+      : TransformerBaseline("TURL", std::move(config)) {}
+
+ protected:
+  text::EncodedSequence SerializeType(
+      const data::TableCorpus& corpus,
+      const data::TypeSample& sample) const override;
+
+  text::EncodedSequence SerializeRelation(
+      const data::TableCorpus& corpus,
+      const data::RelationSample& sample) const override;
+
+  tensor::Tensor AttentionMask(core::TaskKind kind,
+                               const core::TaskSample& sample) const override;
+};
+
+std::unique_ptr<TransformerBaseline> MakeTurl(
+    TransformerBaselineConfig config);
+
+}  // namespace explainti::baselines
+
+#endif  // EXPLAINTI_BASELINES_TURL_H_

@@ -1,0 +1,56 @@
+#include "core/embedding_store.h"
+
+#include "util/logging.h"
+
+namespace explainti::core {
+
+EmbeddingStore::EmbeddingStore(ann::HnswOptions hnsw_options)
+    : hnsw_options_(hnsw_options) {}
+
+void EmbeddingStore::Rebuild(
+    const std::vector<int>& ids,
+    const std::vector<std::vector<float>>& embeddings) {
+  CHECK_EQ(ids.size(), embeddings.size());
+  index_ = std::make_unique<ann::HnswIndex>(hnsw_options_);
+  embeddings_.clear();
+  present_.clear();
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const int id = ids[i];
+    CHECK_GE(id, 0);
+    if (static_cast<size_t>(id) >= embeddings_.size()) {
+      embeddings_.resize(static_cast<size_t>(id) + 1);
+      present_.resize(static_cast<size_t>(id) + 1, false);
+    }
+    CHECK(!present_[static_cast<size_t>(id)]) << "duplicate store id " << id;
+    embeddings_[static_cast<size_t>(id)] = embeddings[i];
+    present_[static_cast<size_t>(id)] = true;
+    index_->Add(id, embeddings[i]);
+  }
+}
+
+std::vector<ann::SearchResult> EmbeddingStore::Search(
+    const std::vector<float>& query, int k, int exclude_id) const {
+  CHECK(index_ != nullptr) << "EmbeddingStore::Search before Rebuild";
+  // Over-fetch by one so the self-hit can be dropped.
+  std::vector<ann::SearchResult> hits = index_->Search(query, k + 1);
+  std::vector<ann::SearchResult> out;
+  out.reserve(static_cast<size_t>(k));
+  for (const ann::SearchResult& hit : hits) {
+    if (static_cast<int>(hit.id) == exclude_id) continue;
+    out.push_back(hit);
+    if (static_cast<int>(out.size()) == k) break;
+  }
+  return out;
+}
+
+const std::vector<float>& EmbeddingStore::Embedding(int id) const {
+  CHECK(Contains(id)) << "no embedding stored for id " << id;
+  return embeddings_[static_cast<size_t>(id)];
+}
+
+bool EmbeddingStore::Contains(int id) const {
+  return id >= 0 && static_cast<size_t>(id) < present_.size() &&
+         present_[static_cast<size_t>(id)];
+}
+
+}  // namespace explainti::core

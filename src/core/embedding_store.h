@@ -1,0 +1,49 @@
+#ifndef EXPLAINTI_CORE_EMBEDDING_STORE_H_
+#define EXPLAINTI_CORE_EMBEDDING_STORE_H_
+
+#include <memory>
+#include <vector>
+
+#include "ann/hnsw_index.h"
+#include "ann/index.h"
+
+namespace explainti::core {
+
+/// The embedding store Q of Algorithm 2: the [CLS] embedding of every
+/// training sample, plus an HNSW index over them for top-K retrieval.
+///
+/// The store is rebuilt ("updated after every fixed number of training
+/// steps") by re-encoding the training set and calling Rebuild(); ids are
+/// the caller's training-sample indices.
+class EmbeddingStore {
+ public:
+  explicit EmbeddingStore(ann::HnswOptions hnsw_options = ann::HnswOptions());
+
+  /// Replaces the store contents. `embeddings[i]` is stored under
+  /// `ids[i]`; all vectors must share one dimensionality.
+  void Rebuild(const std::vector<int>& ids,
+               const std::vector<std::vector<float>>& embeddings);
+
+  /// Top-k most-similar stored samples, optionally excluding one id
+  /// (the query sample itself during training).
+  std::vector<ann::SearchResult> Search(const std::vector<float>& query,
+                                        int k, int exclude_id = -1) const;
+
+  /// The stored embedding for `id`. Aborts when absent.
+  const std::vector<float>& Embedding(int id) const;
+
+  /// True when `id` has a stored embedding.
+  bool Contains(int id) const;
+
+  int64_t size() const { return index_ ? index_->size() : 0; }
+
+ private:
+  ann::HnswOptions hnsw_options_;
+  std::unique_ptr<ann::HnswIndex> index_;
+  std::vector<std::vector<float>> embeddings_;  // Dense by id.
+  std::vector<bool> present_;
+};
+
+}  // namespace explainti::core
+
+#endif  // EXPLAINTI_CORE_EMBEDDING_STORE_H_

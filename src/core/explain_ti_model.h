@@ -1,0 +1,168 @@
+#ifndef EXPLAINTI_CORE_EXPLAIN_TI_MODEL_H_
+#define EXPLAINTI_CORE_EXPLAIN_TI_MODEL_H_
+
+#include <memory>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "core/config.h"
+#include "core/embedding_store.h"
+#include "core/explanation.h"
+#include "core/task_data.h"
+#include "data/corpus.h"
+#include "eval/f1_metrics.h"
+#include "nn/encoder.h"
+#include "nn/heads.h"
+#include "text/serializer.h"
+#include "text/tokenizer.h"
+#include "text/vocab.h"
+#include "util/rng.h"
+#include "util/status.h"
+
+namespace explainti::core {
+
+/// Wall-clock accounting of a Fit() run (Table V).
+struct FitStats {
+  double pretrain_seconds = 0.0;
+  double type_train_seconds = 0.0;
+  double relation_train_seconds = 0.0;
+  double store_build_seconds = 0.0;
+  float best_valid_f1 = 0.0f;
+  int best_epoch = -1;
+};
+
+/// The ExplainTI framework (Section III): a pre-trained mini transformer
+/// encoder fine-tuned multi-task over column-type and column-relation
+/// prediction, with three jointly-trained explanation modules —
+/// Local (Algorithm 1), Global (Algorithm 2), Structural (Algorithm 4) —
+/// optimised with the joint loss L = L_S + alpha*L_L + beta*L_G (Eq. 11,
+/// Algorithm 5).
+///
+/// Typical usage:
+///   ExplainTiModel model(config, corpus);
+///   model.Fit();
+///   eval::F1Scores f1 = model.Evaluate(TaskKind::kType,
+///                                      data::SplitPart::kTest);
+///   Explanation z = model.Explain(TaskKind::kType, sample_id);
+class ExplainTiModel {
+ public:
+  /// Builds the vocabulary from the corpus's *training* tables, constructs
+  /// the encoder for `config.base_model`, and serialises both tasks.
+  ExplainTiModel(const ExplainTiConfig& config,
+                 const data::TableCorpus& corpus);
+
+  ExplainTiModel(const ExplainTiModel&) = delete;
+  ExplainTiModel& operator=(const ExplainTiModel&) = delete;
+
+  /// Runs the full pipeline: MLM pre-training, embedding-store
+  /// initialisation, and multi-task fine-tuning with epoch-level task
+  /// switching; keeps the parameters of the best validation epoch.
+  FitStats Fit();
+
+  /// Does this model have the given task (relation is absent on
+  /// database-table corpora)?
+  bool HasTask(TaskKind kind) const;
+
+  /// Test/valid/train F1 for one task.
+  eval::F1Scores Evaluate(TaskKind kind, data::SplitPart part) const;
+
+  /// Predicted label ids for one sample (no explanation overhead).
+  std::vector<int> Predict(TaskKind kind, int sample_id) const;
+
+  /// Prediction plus the multi-view explanation set Z.
+  Explanation Explain(TaskKind kind, int sample_id) const;
+
+  const TaskData& task_data(TaskKind kind) const;
+  const ExplainTiConfig& config() const { return config_; }
+  const text::Vocab& vocab() const { return *vocab_; }
+
+  /// Per-label sigma outputs for one sample (probabilities).
+  std::vector<float> PredictProbabilities(TaskKind kind, int sample_id) const;
+
+  /// Writes all trainable parameters to `path` (binary). The file is only
+  /// loadable into a model built with the same config and corpus (the
+  /// architecture is reconstructed from those; the file carries weights
+  /// only).
+  util::Status SaveWeights(const std::string& path) const;
+
+  /// Restores parameters written by SaveWeights and rebuilds the
+  /// embedding stores. Fails on shape mismatch without modifying weights.
+  util::Status LoadWeights(const std::string& path);
+
+ private:
+  /// Trainable heads for one task.
+  struct TaskHeads {
+    std::unique_ptr<nn::ClassifierHead> base;        // Eq. 1 (w/o SE).
+    std::unique_ptr<nn::ClassifierHead> structural;  // Eq. 9 (2d -> c).
+    std::unique_ptr<nn::ClassifierHead> local;       // Eq. 2 (W_l).
+    std::unique_ptr<nn::ClassifierHead> global;      // l_G head (W_g).
+  };
+
+  /// Outcome of one forward pass with the explanation modules attached.
+  struct Forward {
+    tensor::Tensor embeddings;    // E [L, d].
+    tensor::Tensor cls;           // E_[CLS].
+    tensor::Tensor final_logits;  // SE logits (Eq. 9) or base (Eq. 1).
+    // LE.
+    tensor::Tensor local_probs;   // l_L (probability vector), if LE on.
+    std::vector<LocalExplanation> windows;
+    // GE.
+    tensor::Tensor global_logits;  // l_G, if GE on and store ready.
+    std::vector<GlobalExplanation> retrieved;
+    // SE.
+    std::vector<StructuralExplanation> neighbors;
+  };
+
+  const TaskData& Task(TaskKind kind) const;
+  TaskHeads& Heads(TaskKind kind);
+  const TaskHeads& Heads(TaskKind kind) const;
+  EmbeddingStore& Store(TaskKind kind);
+  const EmbeddingStore& Store(TaskKind kind) const;
+
+  /// Full forward pass for `sample_id`; `training` enables dropout,
+  /// GE self-exclusion and SE neighbour sampling noise.
+  Forward RunForward(TaskKind kind, int sample_id, bool training,
+                     util::Rng& rng) const;
+
+  /// Builds the per-sample joint loss (Eq. 11) from a Forward.
+  tensor::Tensor ComputeLoss(TaskKind kind, const TaskSample& sample,
+                             const Forward& forward) const;
+
+  /// Re-encodes all training samples of `kind` and rebuilds its store.
+  void RebuildStore(TaskKind kind);
+
+  /// Decodes predicted label ids from final logits.
+  std::vector<int> DecodeLabels(TaskKind kind,
+                                const std::vector<float>& logits) const;
+
+  std::vector<tensor::Tensor> AllParameters() const;
+
+  /// Seed for inference-time stochastic components (SE neighbour
+  /// sampling), derived from the config seed and the sample so that
+  /// Predict/Explain are deterministic per sample, independent of call
+  /// order (and reproducible after SaveWeights/LoadWeights).
+  uint64_t InferenceSeed(int sample_id) const {
+    return config_.seed * 2654435761ULL + 999 +
+           static_cast<uint64_t>(sample_id);
+  }
+
+  ExplainTiConfig config_;
+  std::shared_ptr<text::Vocab> vocab_;
+  std::unique_ptr<text::Tokenizer> tokenizer_;
+  std::unique_ptr<text::SequenceSerializer> serializer_;
+
+  std::unique_ptr<nn::TransformerEncoder> encoder_;
+  TaskHeads type_heads_;
+  TaskHeads relation_heads_;
+
+  std::optional<TaskData> type_task_;
+  std::optional<TaskData> relation_task_;
+
+  EmbeddingStore type_store_;
+  EmbeddingStore relation_store_;
+};
+
+}  // namespace explainti::core
+
+#endif  // EXPLAINTI_CORE_EXPLAIN_TI_MODEL_H_

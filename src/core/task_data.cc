@@ -1,0 +1,115 @@
+#include "core/task_data.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace explainti::core {
+
+const char* TaskKindName(TaskKind kind) {
+  return kind == TaskKind::kType ? "type" : "relation";
+}
+
+std::string TaskData::SampleText(int sample_id) const {
+  CHECK(sample_id >= 0 &&
+        sample_id < static_cast<int>(samples.size()));
+  const TaskSample& sample = samples[static_cast<size_t>(sample_id)];
+  std::vector<std::string> words;
+  for (const std::string& token : sample.seq.tokens) {
+    if (token.size() >= 2 && token[0] == '[') continue;  // Special tokens.
+    if (util::StartsWith(token, "##") && !words.empty()) {
+      words.back() += token.substr(2);
+    } else {
+      words.push_back(token);
+    }
+  }
+  return util::Join(words, " ");
+}
+
+namespace {
+
+std::vector<int> SampleIdsOf(const std::vector<int>& corpus_ids) {
+  return corpus_ids;  // Task sample ids coincide with corpus sample order.
+}
+
+}  // namespace
+
+TaskData BuildTypeTaskData(const data::TableCorpus& corpus,
+                           const text::SequenceSerializer& serializer) {
+  TaskData task;
+  task.kind = TaskKind::kType;
+  task.multi_label = corpus.type_multi_label;
+  task.num_labels = static_cast<int>(corpus.type_label_names.size());
+  task.label_names = corpus.type_label_names;
+
+  task.samples.reserve(corpus.type_samples.size());
+  for (size_t i = 0; i < corpus.type_samples.size(); ++i) {
+    const data::TypeSample& src = corpus.type_samples[i];
+    TaskSample sample;
+    sample.id = static_cast<int>(i);
+    sample.seq = serializer.SerializeColumn(corpus.ColumnTextOf(src));
+    sample.labels = src.labels;
+    sample.evidence = src.evidence;
+
+    const data::Table& table =
+        corpus.tables[static_cast<size_t>(src.table_index)];
+    const std::string title_key = util::ToLower(table.title);
+    const std::string header_key = util::ToLower(
+        table.columns[static_cast<size_t>(src.column_index)].header);
+    task.graph.AddSample(sample.id, title_key, header_key);
+    task.samples.push_back(std::move(sample));
+  }
+
+  task.train_ids = SampleIdsOf(corpus.TypeSampleIds(data::SplitPart::kTrain));
+  task.valid_ids = SampleIdsOf(corpus.TypeSampleIds(data::SplitPart::kValid));
+  task.test_ids = SampleIdsOf(corpus.TypeSampleIds(data::SplitPart::kTest));
+  task.is_train.assign(task.samples.size(), false);
+  for (int id : task.train_ids) task.is_train[static_cast<size_t>(id)] = true;
+  return task;
+}
+
+TaskData BuildRelationTaskData(const data::TableCorpus& corpus,
+                               const text::SequenceSerializer& serializer) {
+  TaskData task;
+  task.kind = TaskKind::kRelation;
+  task.multi_label = false;
+  task.num_labels = static_cast<int>(corpus.relation_label_names.size());
+  task.label_names = corpus.relation_label_names;
+
+  task.samples.reserve(corpus.relation_samples.size());
+  for (size_t i = 0; i < corpus.relation_samples.size(); ++i) {
+    const data::RelationSample& src = corpus.relation_samples[i];
+    TaskSample sample;
+    sample.id = static_cast<int>(i);
+    sample.seq = serializer.SerializePair(
+        corpus.ColumnTextOf(src.table_index, src.left_column),
+        corpus.ColumnTextOf(src.table_index, src.right_column));
+    sample.labels = {src.label};
+    sample.evidence = src.evidence;
+
+    const data::Table& table =
+        corpus.tables[static_cast<size_t>(src.table_index)];
+    const std::string title_key = util::ToLower(table.title);
+    const std::string header_key =
+        util::ToLower(
+            table.columns[static_cast<size_t>(src.left_column)].header) +
+        "||" +
+        util::ToLower(
+            table.columns[static_cast<size_t>(src.right_column)].header);
+    task.graph.AddSample(sample.id, title_key, header_key);
+    task.samples.push_back(std::move(sample));
+  }
+
+  task.train_ids =
+      SampleIdsOf(corpus.RelationSampleIds(data::SplitPart::kTrain));
+  task.valid_ids =
+      SampleIdsOf(corpus.RelationSampleIds(data::SplitPart::kValid));
+  task.test_ids =
+      SampleIdsOf(corpus.RelationSampleIds(data::SplitPart::kTest));
+  task.is_train.assign(task.samples.size(), false);
+  for (int id : task.train_ids) task.is_train[static_cast<size_t>(id)] = true;
+  return task;
+}
+
+}  // namespace explainti::core

@@ -1,0 +1,66 @@
+#ifndef EXPLAINTI_CORE_TASK_DATA_H_
+#define EXPLAINTI_CORE_TASK_DATA_H_
+
+#include <string>
+#include <vector>
+
+#include "data/corpus.h"
+#include "graph/column_graph.h"
+#include "text/serializer.h"
+
+namespace explainti::core {
+
+/// The two table-interpretation tasks (Definitions 1 and 2).
+enum class TaskKind { kType = 0, kRelation = 1 };
+
+const char* TaskKindName(TaskKind kind);
+
+/// One serialised, task-ready sample.
+struct TaskSample {
+  int id = -1;                 ///< Dense id within the task.
+  text::EncodedSequence seq;   ///< Serialised input X.
+  std::vector<int> labels;     ///< Gold label ids.
+  std::vector<std::string> evidence;  ///< Evidence-oracle tokens.
+};
+
+/// Everything a trainer needs for one task on one corpus: serialised
+/// samples, split membership, label space, and the column (pair) graph of
+/// Algorithm 3.
+struct TaskData {
+  TaskKind kind = TaskKind::kType;
+  bool multi_label = false;
+  int num_labels = 0;
+  std::vector<std::string> label_names;
+  std::vector<TaskSample> samples;  ///< Parallel to the corpus sample list.
+  std::vector<int> train_ids;
+  std::vector<int> valid_ids;
+  std::vector<int> test_ids;
+  std::vector<bool> is_train;  ///< Parallel to `samples`.
+  graph::ColumnGraph graph;  ///< Over all samples (train + valid + test).
+
+  /// True when `sample_id` is a training sample (graph neighbours outside
+  /// the training set have no stored embedding and are skipped by SE).
+  bool IsTrainSample(int sample_id) const {
+    return sample_id >= 0 &&
+           sample_id < static_cast<int>(is_train.size()) &&
+           is_train[static_cast<size_t>(sample_id)];
+  }
+
+  /// The sample's serialised text (tokens joined), used when rendering
+  /// global/structural explanations.
+  std::string SampleText(int sample_id) const;
+};
+
+/// Builds the column-type task: serialises every column with `serializer`
+/// and constructs the column graph G_t keyed by (title, header).
+TaskData BuildTypeTaskData(const data::TableCorpus& corpus,
+                           const text::SequenceSerializer& serializer);
+
+/// Builds the column-relation task: serialises every annotated pair and
+/// constructs the column-pair graph G_r keyed by (title, header pair).
+TaskData BuildRelationTaskData(const data::TableCorpus& corpus,
+                               const text::SequenceSerializer& serializer);
+
+}  // namespace explainti::core
+
+#endif  // EXPLAINTI_CORE_TASK_DATA_H_

@@ -1,0 +1,94 @@
+#include "data/corpus.h"
+
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace explainti::data {
+
+std::vector<int> TableCorpus::TypeSampleIds(SplitPart part) const {
+  std::vector<int> ids;
+  for (size_t i = 0; i < type_samples.size(); ++i) {
+    const TypeSample& s = type_samples[i];
+    if (table_split[static_cast<size_t>(s.table_index)] == part) {
+      ids.push_back(static_cast<int>(i));
+    }
+  }
+  return ids;
+}
+
+std::vector<int> TableCorpus::RelationSampleIds(SplitPart part) const {
+  std::vector<int> ids;
+  for (size_t i = 0; i < relation_samples.size(); ++i) {
+    const RelationSample& s = relation_samples[i];
+    if (table_split[static_cast<size_t>(s.table_index)] == part) {
+      ids.push_back(static_cast<int>(i));
+    }
+  }
+  return ids;
+}
+
+text::ColumnText TableCorpus::ColumnTextOf(int table_index,
+                                           int column_index) const {
+  CHECK(table_index >= 0 &&
+        table_index < static_cast<int>(tables.size()));
+  const Table& table = tables[static_cast<size_t>(table_index)];
+  CHECK(column_index >= 0 &&
+        column_index < static_cast<int>(table.columns.size()));
+  const Column& column = table.columns[static_cast<size_t>(column_index)];
+  return text::ColumnText{table.title, column.header, column.cells};
+}
+
+text::ColumnText TableCorpus::ColumnTextOf(const TypeSample& sample) const {
+  return ColumnTextOf(sample.table_index, sample.column_index);
+}
+
+CorpusStatistics ComputeStatistics(const TableCorpus& corpus) {
+  CorpusStatistics stats;
+  stats.num_tables = static_cast<int64_t>(corpus.tables.size());
+  stats.num_type_labels =
+      static_cast<int64_t>(corpus.type_label_names.size());
+  stats.num_relation_labels =
+      static_cast<int64_t>(corpus.relation_label_names.size());
+  stats.num_type_samples = static_cast<int64_t>(corpus.type_samples.size());
+  stats.num_relation_samples =
+      static_cast<int64_t>(corpus.relation_samples.size());
+  int64_t total_rows = 0;
+  int64_t total_cols = 0;
+  for (const Table& table : corpus.tables) {
+    total_rows += table.num_rows();
+    total_cols += static_cast<int64_t>(table.columns.size());
+  }
+  if (stats.num_tables > 0) {
+    stats.avg_rows =
+        static_cast<double>(total_rows) / static_cast<double>(stats.num_tables);
+    stats.avg_cols =
+        static_cast<double>(total_cols) / static_cast<double>(stats.num_tables);
+  }
+  return stats;
+}
+
+void AssignSplits(TableCorpus* corpus, double train_fraction,
+                  double valid_fraction, uint64_t seed) {
+  CHECK(corpus != nullptr);
+  CHECK(train_fraction > 0.0 && valid_fraction >= 0.0 &&
+        train_fraction + valid_fraction < 1.0)
+      << "split fractions must leave room for a test partition";
+  const size_t n = corpus->tables.size();
+  std::vector<size_t> order(n);
+  for (size_t i = 0; i < n; ++i) order[i] = i;
+  util::Rng rng(seed);
+  rng.Shuffle(order);
+
+  corpus->table_split.assign(n, SplitPart::kTest);
+  const size_t train_count = static_cast<size_t>(train_fraction * n);
+  const size_t valid_count = static_cast<size_t>(valid_fraction * n);
+  for (size_t i = 0; i < n; ++i) {
+    if (i < train_count) {
+      corpus->table_split[order[i]] = SplitPart::kTrain;
+    } else if (i < train_count + valid_count) {
+      corpus->table_split[order[i]] = SplitPart::kValid;
+    }
+  }
+}
+
+}  // namespace explainti::data

@@ -1,0 +1,81 @@
+#include "data/csv_loader.h"
+
+#include "util/csv.h"
+#include "util/string_util.h"
+
+namespace explainti::data {
+
+namespace {
+
+std::string BasenameTitle(const std::string& path) {
+  size_t start = path.find_last_of('/');
+  start = start == std::string::npos ? 0 : start + 1;
+  size_t end = path.find_last_of('.');
+  if (end == std::string::npos || end <= start) end = path.size();
+  std::string name = path.substr(start, end - start);
+  for (char& c : name) {
+    if (c == '_' || c == '-') c = ' ';
+  }
+  return util::ToLower(name);
+}
+
+}  // namespace
+
+util::StatusOr<Table> TableFromCsvRows(
+    const std::vector<std::vector<std::string>>& rows,
+    const CsvLoadOptions& options) {
+  if (rows.empty()) {
+    return util::Status::InvalidArgument("CSV has no rows");
+  }
+  Table table;
+  table.title = options.title;
+
+  size_t data_start = 0;
+  size_t width = rows[0].size();
+  if (options.first_row_is_header) {
+    for (const std::string& header : rows[0]) {
+      Column column;
+      column.header = util::Trim(util::ToLower(header));
+      if (column.header.empty()) {
+        column.header = "column_" + std::to_string(table.columns.size());
+      }
+      table.columns.push_back(std::move(column));
+    }
+    data_start = 1;
+  } else {
+    for (size_t c = 0; c < width; ++c) {
+      Column column;
+      column.header = "column_" + std::to_string(c);
+      table.columns.push_back(std::move(column));
+    }
+  }
+  if (table.columns.empty()) {
+    return util::Status::InvalidArgument("CSV has no columns");
+  }
+
+  int64_t loaded = 0;
+  for (size_t r = data_start; r < rows.size(); ++r) {
+    if (options.max_rows > 0 && loaded >= options.max_rows) break;
+    ++loaded;
+    for (size_t c = 0; c < table.columns.size(); ++c) {
+      table.columns[c].cells.push_back(c < rows[r].size()
+                                           ? util::Trim(rows[r][c])
+                                           : std::string());
+    }
+  }
+  if (table.num_rows() == 0) {
+    return util::Status::InvalidArgument("CSV has headers but no data rows");
+  }
+  return table;
+}
+
+util::StatusOr<Table> LoadTableFromCsv(const std::string& path,
+                                       const CsvLoadOptions& options) {
+  auto rows = util::ReadCsvFile(path);
+  if (!rows.ok()) return rows.status();
+  CsvLoadOptions resolved = options;
+  if (resolved.title.empty()) resolved.title = BasenameTitle(path);
+  return TableFromCsvRows(*rows, resolved);
+}
+
+}  // namespace explainti::data

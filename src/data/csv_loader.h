@@ -1,0 +1,36 @@
+#ifndef EXPLAINTI_DATA_CSV_LOADER_H_
+#define EXPLAINTI_DATA_CSV_LOADER_H_
+
+#include <string>
+
+#include "data/table.h"
+#include "util/status.h"
+
+namespace explainti::data {
+
+/// Options for loading user tables from CSV.
+struct CsvLoadOptions {
+  /// Treat the first row as column headers; otherwise headers become
+  /// "column_0", "column_1", ...
+  bool first_row_is_header = true;
+  /// Table title; when empty, the file's basename (without extension) is
+  /// used — the same role a filename-like title plays in GitTables.
+  std::string title;
+  /// Cap on loaded rows (0 = unlimited); serialisation truncates anyway.
+  int64_t max_rows = 0;
+};
+
+/// Builds a Table from already-parsed CSV rows. Ragged rows are padded
+/// with empty cells to the header width; extra cells are dropped.
+util::StatusOr<Table> TableFromCsvRows(
+    const std::vector<std::vector<std::string>>& rows,
+    const CsvLoadOptions& options);
+
+/// Loads a table from a CSV file on disk — the entry point for annotating
+/// real user tables with a trained model (see examples/).
+util::StatusOr<Table> LoadTableFromCsv(const std::string& path,
+                                       const CsvLoadOptions& options = {});
+
+}  // namespace explainti::data
+
+#endif  // EXPLAINTI_DATA_CSV_LOADER_H_

@@ -1,0 +1,259 @@
+#include "data/git_generator.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "data/value_pools.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace explainti::data {
+
+namespace {
+
+using VP = ValuePools;
+
+struct GitColumnSpec {
+  std::string header;
+  std::string type_label;
+  std::function<std::string(util::Rng&)> value;
+  /// Cell values identify the type even under a generic header (codes,
+  /// latin binomials, status strings — true for most organism columns).
+  bool values_are_evidence = false;
+};
+
+struct GitBlueprint {
+  std::string schema_name;
+  std::vector<GitColumnSpec> columns;
+};
+
+std::vector<GitBlueprint> BuildGitBlueprints() {
+  std::vector<GitBlueprint> blueprints;
+
+  blueprints.push_back(GitBlueprint{
+      "taxonomy",
+      {
+          {"genus", "organism.genus",
+           [](util::Rng& rng) { return VP::GenusName(rng); }, true},
+          {"species", "organism.species",
+           [](util::Rng& rng) { return VP::SpeciesEpithet(rng); }, true},
+          {"family", "organism.family",
+           [](util::Rng& rng) { return VP::FamilyName(rng); }, true},
+          {"discovered", "date.year",
+           [](util::Rng& rng) { return VP::Year(rng); }, false},
+      }});
+
+  blueprints.push_back(GitBlueprint{
+      "habitats",
+      {
+          {"organism", "organism.name",
+           [](util::Rng& rng) {
+             return VP::GenusName(rng) + " " + VP::SpeciesEpithet(rng);
+           },
+           true},
+          {"habitat", "environment.habitat",
+           [](util::Rng& rng) { return VP::Pick(VP::Habitats(), rng); },
+           true},
+          {"continent", "location.continent",
+           [](util::Rng& rng) { return VP::Pick(VP::Continents(), rng); },
+           true},
+          {"status", "conservation.status",
+           [](util::Rng& rng) {
+             return VP::Pick(VP::ConservationStatuses(), rng);
+           },
+           true},
+      }});
+
+  blueprints.push_back(GitBlueprint{
+      "genomes",
+      {
+          {"organism", "organism.name",
+           [](util::Rng& rng) {
+             return VP::GenusName(rng) + " " + VP::SpeciesEpithet(rng);
+           },
+           true},
+          {"genome size mb", "genome.size",
+           [](util::Rng& rng) { return VP::Decimal(0.5, 9000.0, 1, rng); },
+           false},
+          {"gene count", "genome.gene_count",
+           [](util::Rng& rng) { return VP::Integer(400, 60000, rng); },
+           false},
+          {"gc content", "genome.gc_content",
+           [](util::Rng& rng) { return VP::Decimal(20.0, 75.0, 2, rng); },
+           false},
+      }});
+
+  blueprints.push_back(GitBlueprint{
+      "proteins",
+      {
+          {"protein id", "protein.id",
+           [](util::Rng& rng) { return VP::Code("prot", rng); }, true},
+          {"organism", "organism.name",
+           [](util::Rng& rng) {
+             return VP::GenusName(rng) + " " + VP::SpeciesEpithet(rng);
+           },
+           true},
+          {"length", "protein.length",
+           [](util::Rng& rng) { return VP::Integer(50, 5000, rng); }, false},
+          {"mass kda", "protein.mass",
+           [](util::Rng& rng) { return VP::Decimal(5.0, 600.0, 1, rng); },
+           false},
+      }});
+
+  blueprints.push_back(GitBlueprint{
+      "specimens",
+      {
+          {"specimen id", "specimen.id",
+           [](util::Rng& rng) { return VP::Code("sp", rng); }, true},
+          {"collector", "person.collector",
+           [](util::Rng& rng) { return VP::PersonName(rng); }, false},
+          {"collection date", "date.collection",
+           [](util::Rng& rng) { return VP::Date(rng); }, true},
+          {"location", "location.site",
+           [](util::Rng& rng) { return VP::Pick(VP::Cities(), rng); }, true},
+      }});
+
+  blueprints.push_back(GitBlueprint{
+      "diseases",
+      {
+          {"disease", "disease.name",
+           [](util::Rng& rng) { return VP::DiseaseName(rng); }, true},
+          {"pathogen", "disease.pathogen",
+           [](util::Rng& rng) { return VP::GenusName(rng); }, true},
+          {"host", "organism.host",
+           [](util::Rng& rng) {
+             return VP::GenusName(rng) + " " + VP::SpeciesEpithet(rng);
+           },
+           true},
+          {"first reported", "date.year",
+           [](util::Rng& rng) { return VP::Year(rng); }, false},
+      }});
+
+  blueprints.push_back(GitBlueprint{
+      "enzymes",
+      {
+          {"enzyme", "enzyme.name",
+           [](util::Rng& rng) { return VP::EnzymeName(rng); }, true},
+          {"substrate", "enzyme.substrate",
+           [](util::Rng& rng) { return VP::EnzymeName(rng) + " substrate"; },
+           true},
+          {"source organism", "organism.name",
+           [](util::Rng& rng) {
+             return VP::GenusName(rng) + " " + VP::SpeciesEpithet(rng);
+           },
+           true},
+          {"optimal ph", "assay.ph",
+           [](util::Rng& rng) { return VP::Decimal(1.5, 11.0, 1, rng); },
+           false},
+      }});
+
+  blueprints.push_back(GitBlueprint{
+      "strains",
+      {
+          {"strain id", "strain.id",
+           [](util::Rng& rng) { return VP::Code("str", rng); }, true},
+          {"species", "organism.species",
+           [](util::Rng& rng) { return VP::SpeciesEpithet(rng); }, true},
+          {"laboratory", "organization.laboratory",
+           [](util::Rng& rng) { return VP::Pick(VP::Universities(), rng); },
+           true},
+          {"isolated", "date.year",
+           [](util::Rng& rng) { return VP::Year(rng); }, false},
+      }});
+
+  return blueprints;
+}
+
+const std::vector<std::string> kGenericHeaders = {"value", "id", "name",
+                                                  "field"};
+
+int LabelId(std::vector<std::string>* names,
+            std::unordered_map<std::string, int>* ids,
+            const std::string& name) {
+  auto [it, inserted] =
+      ids->try_emplace(name, static_cast<int>(names->size()));
+  if (inserted) names->push_back(name);
+  return it->second;
+}
+
+}  // namespace
+
+TableCorpus GenerateGitTableCorpus(const GitTableOptions& options) {
+  CHECK_GT(options.num_tables, 0);
+  const std::vector<GitBlueprint> blueprints = BuildGitBlueprints();
+  util::Rng rng(options.seed);
+
+  TableCorpus corpus;
+  corpus.name = "SynthGitTable";
+  corpus.type_multi_label = false;
+  std::unordered_map<std::string, int> type_ids;
+
+  for (const GitBlueprint& bp : blueprints) {
+    for (const GitColumnSpec& col : bp.columns) {
+      LabelId(&corpus.type_label_names, &type_ids, col.type_label);
+    }
+  }
+
+  for (int t = 0; t < options.num_tables; ++t) {
+    const GitBlueprint& bp =
+        blueprints[static_cast<size_t>(rng.UniformInt(blueprints.size()))];
+
+    // Database tables: filename-like titles with no semantic content, and
+    // shuffled column order (defeats positional inter-table aggregation).
+    Table table;
+    table.title = "data_" + std::to_string(t) + "_export";
+    std::vector<size_t> column_order(bp.columns.size());
+    for (size_t i = 0; i < column_order.size(); ++i) column_order[i] = i;
+    rng.Shuffle(column_order);
+
+    std::vector<bool> generic_header(bp.columns.size(), false);
+    for (size_t c = 0; c < bp.columns.size(); ++c) {
+      generic_header[c] = rng.Bernoulli(options.generic_header_prob);
+    }
+
+    const int rows = static_cast<int>(
+        rng.UniformInt(options.min_rows, options.max_rows));
+    const int table_index = static_cast<int>(corpus.tables.size());
+
+    for (size_t pos = 0; pos < column_order.size(); ++pos) {
+      const size_t c = column_order[pos];
+      const GitColumnSpec& spec = bp.columns[c];
+      Column column;
+      column.header = generic_header[c]
+                          ? kGenericHeaders[static_cast<size_t>(
+                                rng.UniformInt(kGenericHeaders.size()))]
+                          : spec.header;
+      column.cells.reserve(static_cast<size_t>(rows));
+      for (int r = 0; r < rows; ++r) column.cells.push_back(spec.value(rng));
+
+      TypeSample sample;
+      sample.table_index = table_index;
+      sample.column_index = static_cast<int>(pos);
+      sample.labels.push_back(
+          LabelId(&corpus.type_label_names, &type_ids, spec.type_label));
+      if (!generic_header[c]) {
+        for (const std::string& tok : text::BasicTokenize(spec.header)) {
+          sample.evidence.push_back(tok);
+        }
+      }
+      if (spec.values_are_evidence) {
+        for (size_t r = 0; r < column.cells.size() && r < 3; ++r) {
+          for (const std::string& tok : text::BasicTokenize(column.cells[r])) {
+            sample.evidence.push_back(tok);
+          }
+        }
+      }
+      corpus.type_samples.push_back(std::move(sample));
+      table.columns.push_back(std::move(column));
+    }
+
+    corpus.tables.push_back(std::move(table));
+  }
+
+  AssignSplits(&corpus, options.train_fraction, options.valid_fraction,
+               options.seed + 1);
+  return corpus;
+}
+
+}  // namespace explainti::data

@@ -1,0 +1,37 @@
+#ifndef EXPLAINTI_DATA_GIT_GENERATOR_H_
+#define EXPLAINTI_DATA_GIT_GENERATOR_H_
+
+#include <cstdint>
+
+#include "data/corpus.h"
+
+namespace explainti::data {
+
+/// Options for the synthetic database-table corpus (GitTables `organism`
+/// stand-in).
+///
+/// Database tables differ from Web tables in exactly the ways the paper's
+/// GitTable observations depend on: far fewer tables, many more rows,
+/// filename-like titles that carry no semantics, headers that are highly
+/// type-indicative, heterogeneous column orders (so positional inter-table
+/// aggregation — TCN's idea — is noise), and no relation annotations.
+struct GitTableOptions {
+  int num_tables = 130;
+  uint64_t seed = 11;
+  /// Probability a column's header degrades to a generic one ("value",
+  /// "id", "name"), forcing value-based prediction.
+  double generic_header_prob = 0.08;
+  int min_rows = 60;
+  int max_rows = 200;
+  double train_fraction = 0.8;
+  double valid_fraction = 0.1;
+};
+
+/// Generates the database-table corpus: organism-domain schemas (taxonomy,
+/// genomes, proteins, specimens, ...), multi-class column types, shuffled
+/// column order, no relations.
+TableCorpus GenerateGitTableCorpus(const GitTableOptions& options);
+
+}  // namespace explainti::data
+
+#endif  // EXPLAINTI_DATA_GIT_GENERATOR_H_

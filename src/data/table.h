@@ -1,0 +1,28 @@
+#ifndef EXPLAINTI_DATA_TABLE_H_
+#define EXPLAINTI_DATA_TABLE_H_
+
+#include <string>
+#include <vector>
+
+namespace explainti::data {
+
+/// One column of a relational table: a header plus cell values.
+struct Column {
+  std::string header;
+  std::vector<std::string> cells;
+};
+
+/// A relational table T = (c_1 .. c_n) with a title p.
+struct Table {
+  std::string title;
+  std::vector<Column> columns;
+
+  int64_t num_rows() const {
+    return columns.empty() ? 0
+                           : static_cast<int64_t>(columns[0].cells.size());
+  }
+};
+
+}  // namespace explainti::data
+
+#endif  // EXPLAINTI_DATA_TABLE_H_

@@ -1,0 +1,255 @@
+#include "data/value_pools.h"
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace explainti::data {
+
+namespace {
+
+const std::vector<std::string> kFirstNames = {
+    "james",  "mary",   "robert",  "linda",    "michael", "susan",
+    "david",  "karen",  "john",    "lisa",     "richard", "nancy",
+    "joseph", "sarah",  "thomas",  "emma",     "charles", "olivia",
+    "daniel", "sophia", "matthew", "isabella", "anthony", "mia",
+    "mark",   "amelia", "paul",    "harper",   "steven",  "evelyn",
+    "andrew", "luna",   "kevin",   "camila",   "brian",   "aria",
+    "george", "scarlett", "edward", "penelope", "ronald", "chloe",
+    "timothy", "victoria", "jason", "madison",  "jeffrey", "eleanor"};
+
+const std::vector<std::string> kLastNames = {
+    "smith",    "johnson",  "williams", "brown",   "jones",    "garcia",
+    "miller",   "davis",    "rodriguez", "martinez", "hernandez", "lopez",
+    "gonzalez", "wilson",   "anderson", "thomas",  "taylor",   "moore",
+    "jackson",  "martin",   "lee",      "perez",   "thompson", "white",
+    "harris",   "sanchez",  "clark",    "ramirez", "lewis",    "robinson",
+    "walker",   "young",    "allen",    "king",    "wright",   "scott",
+    "torres",   "nguyen",   "hill",     "flores",  "green",    "adams",
+    "nelson",   "baker",    "hall",     "rivera",  "campbell", "mitchell"};
+
+const std::vector<std::string> kNbaTeams = {
+    "lakers",   "celtics",  "bulls",     "warriors",     "knicks",
+    "heat",     "spurs",    "rockets",   "suns",         "jazz",
+    "nets",     "hawks",    "bucks",     "magic",        "pistons",
+    "pacers",   "raptors",  "clippers",  "nuggets",      "mavericks",
+    "grizzlies", "hornets", "timberwolves", "kings",     "blazers",
+    "wizards",  "sixers",   "thunder",   "cavaliers",    "pelicans"};
+
+const std::vector<std::string> kNflTeams = {
+    "patriots", "cowboys",  "packers",  "steelers", "giants",
+    "eagles",   "bears",    "raiders",  "broncos",  "chiefs",
+    "dolphins", "jets",     "bills",    "ravens",   "bengals",
+    "browns",   "titans",   "colts",    "jaguars",  "texans",
+    "chargers", "rams",     "seahawks", "cardinals", "falcons",
+    "panthers", "saints",   "buccaneers", "vikings", "lions"};
+
+const std::vector<std::string> kSoccerClubs = {
+    "arsenal",     "chelsea",  "liverpool", "barcelona", "juventus",
+    "bayern",      "dortmund", "ajax",      "porto",     "benfica",
+    "celtic",      "rangers",  "galatasaray", "marseille", "lyon",
+    "monaco",      "sevilla",  "valencia",  "napoli",    "roma",
+    "inter",       "milan"};
+
+const std::vector<std::string> kCountries = {
+    "france",   "germany",  "italy",     "spain",     "portugal",
+    "japan",    "china",    "india",     "brazil",    "argentina",
+    "canada",   "mexico",   "australia", "egypt",     "kenya",
+    "nigeria",  "morocco",  "sweden",    "norway",    "finland",
+    "denmark",  "poland",   "austria",   "greece",    "turkey",
+    "thailand", "vietnam",  "indonesia", "chile",     "peru",
+    "colombia", "ecuador",  "iceland",   "ireland",   "hungary",
+    "romania",  "bulgaria", "croatia",   "serbia",    "ukraine"};
+
+// Parallel to kCountries.
+const std::vector<std::string> kCapitals = {
+    "paris",    "berlin",   "rome",      "madrid",    "lisbon",
+    "tokyo",    "beijing",  "delhi",     "brasilia",  "buenos aires",
+    "ottawa",   "mexico city", "canberra", "cairo",   "nairobi",
+    "abuja",    "rabat",    "stockholm", "oslo",      "helsinki",
+    "copenhagen", "warsaw", "vienna",    "athens",    "ankara",
+    "bangkok",  "hanoi",    "jakarta",   "santiago",  "lima",
+    "bogota",   "quito",    "reykjavik", "dublin",    "budapest",
+    "bucharest", "sofia",   "zagreb",    "belgrade",  "kyiv"};
+
+const std::vector<std::string> kCities = {
+    "barcelona", "munich",   "milan",    "valencia",  "porto",
+    "osaka",     "shanghai", "mumbai",   "sao paulo", "cordoba",
+    "toronto",   "guadalajara", "sydney", "alexandria", "mombasa",
+    "lagos",     "casablanca", "gothenburg", "bergen", "tampere",
+    "aarhus",    "krakow",   "salzburg", "thessaloniki", "izmir",
+    "chiang mai", "da nang", "surabaya", "valparaiso", "arequipa",
+    "medellin",  "guayaquil", "akureyri", "cork",     "debrecen",
+    "cluj",      "plovdiv",  "split",    "novi sad",  "lviv"};
+
+const std::vector<std::string> kUniversities = {
+    "harvard university",   "stanford university", "oxford university",
+    "cambridge university", "mit",                 "caltech",
+    "princeton university", "yale university",     "columbia university",
+    "cornell university",   "duke university",     "ucla",
+    "berkeley",             "michigan university", "toronto university",
+    "melbourne university", "heidelberg university", "sorbonne",
+    "kyoto university",     "tsinghua university", "eth zurich",
+    "delft university",     "uppsala university",  "bologna university"};
+
+const std::vector<std::string> kCompanies = {
+    "acme corp",      "globex",        "initech",      "umbrella corp",
+    "stark industries", "wayne enterprises", "wonka industries",
+    "tyrell corp",    "cyberdyne",     "oscorp",       "massive dynamic",
+    "hooli",          "pied piper",    "aperture science", "black mesa",
+    "soylent corp",   "vandelay industries", "dunder mifflin",
+    "sterling cooper", "prestige worldwide", "gekko and co",
+    "nakatomi trading", "weyland yutani", "virtucon"};
+
+const std::vector<std::string> kParties = {
+    "progressive party",  "conservative union", "liberal alliance",
+    "green coalition",    "national front",     "labor movement",
+    "democratic league",  "reform party",       "unity party",
+    "people's voice",     "freedom bloc",       "civic platform"};
+
+const std::vector<std::string> kCurrencies = {
+    "euro",  "dollar", "yen",   "pound", "franc", "krona",
+    "peso",  "real",   "rupee", "yuan",  "lira",  "zloty"};
+
+const std::vector<std::string> kGenres = {
+    "drama",     "comedy",  "thriller", "horror",  "romance", "action",
+    "adventure", "fantasy", "science fiction", "documentary", "animation",
+    "mystery"};
+
+const std::vector<std::string> kHabitats = {
+    "rainforest", "desert",   "grassland", "wetland", "tundra",
+    "savanna",    "mangrove", "coral reef", "taiga",  "alpine meadow",
+    "estuary",    "cave system"};
+
+const std::vector<std::string> kContinents = {
+    "africa", "asia", "europe", "north america", "south america",
+    "oceania", "antarctica"};
+
+const std::vector<std::string> kConservation = {
+    "least concern", "near threatened", "vulnerable",
+    "endangered",    "critically endangered", "extinct in the wild"};
+
+const std::vector<std::string> kTitleNouns = {
+    "river",   "mountain", "garden",  "mirror",  "shadow",  "horizon",
+    "echo",    "crown",    "harbor",  "lantern", "voyage",  "silence",
+    "ember",   "meadow",   "compass", "tempest", "orchard", "paradox"};
+
+const std::vector<std::string> kTitleAdjectives = {
+    "silent",   "golden",  "hidden",  "broken",  "endless", "crimson",
+    "forgotten", "electric", "winter", "distant", "burning", "hollow",
+    "midnight", "scarlet", "wandering", "luminous"};
+
+const std::vector<std::string> kLatinStems = {
+    "acro", "bio",  "cyto", "dermo", "echino", "fibro", "gastro", "helio",
+    "ichthy", "kerato", "lepido", "myco", "nemato", "ornitho", "phyto",
+    "rhizo", "sacchar", "thermo", "xantho", "zygo"};
+
+const std::vector<std::string> kLatinSuffixes = {
+    "bacter", "coccus", "myces",  "phyton", "saurus", "cephalus",
+    "derma",  "phora",  "spora",  "stoma",  "theca",  "virens"};
+
+const std::vector<std::string> kSpeciesEpithets = {
+    "vulgaris",  "communis", "officinalis", "sylvestris", "maritimus",
+    "montanus",  "borealis", "australis",   "orientalis", "occidentalis",
+    "giganteus", "minimus",  "albus",       "niger",      "ruber",
+    "viridis",   "luteus",   "pallidus",    "robustus",   "gracilis"};
+
+const std::vector<std::string> kEnzymeStems = {
+    "amyl",   "prote",  "lip",    "cellul", "lact",  "malt",
+    "pectin", "chitin", "kerat",  "ure",    "catal", "oxid"};
+
+}  // namespace
+
+std::string ValuePools::PersonName(util::Rng& rng) {
+  return Pick(kFirstNames, rng) + " " + Pick(kLastNames, rng);
+}
+
+const std::vector<std::string>& ValuePools::NbaTeams() { return kNbaTeams; }
+const std::vector<std::string>& ValuePools::NflTeams() { return kNflTeams; }
+const std::vector<std::string>& ValuePools::SoccerClubs() {
+  return kSoccerClubs;
+}
+const std::vector<std::string>& ValuePools::Countries() { return kCountries; }
+const std::vector<std::string>& ValuePools::Capitals() { return kCapitals; }
+const std::vector<std::string>& ValuePools::Cities() { return kCities; }
+const std::vector<std::string>& ValuePools::Universities() {
+  return kUniversities;
+}
+const std::vector<std::string>& ValuePools::Companies() { return kCompanies; }
+const std::vector<std::string>& ValuePools::Parties() { return kParties; }
+const std::vector<std::string>& ValuePools::Currencies() {
+  return kCurrencies;
+}
+const std::vector<std::string>& ValuePools::Genres() { return kGenres; }
+const std::vector<std::string>& ValuePools::Habitats() { return kHabitats; }
+const std::vector<std::string>& ValuePools::Continents() {
+  return kContinents;
+}
+const std::vector<std::string>& ValuePools::ConservationStatuses() {
+  return kConservation;
+}
+
+std::string ValuePools::FilmTitle(util::Rng& rng) {
+  return "the " + Pick(kTitleAdjectives, rng) + " " + Pick(kTitleNouns, rng);
+}
+
+std::string ValuePools::AlbumTitle(util::Rng& rng) {
+  return Pick(kTitleAdjectives, rng) + " " + Pick(kTitleNouns, rng);
+}
+
+std::string ValuePools::BookTitle(util::Rng& rng) {
+  return "a " + Pick(kTitleNouns, rng) + " of " + Pick(kTitleNouns, rng);
+}
+
+std::string ValuePools::SeriesTitle(util::Rng& rng) {
+  return Pick(kTitleNouns, rng) + " and " + Pick(kTitleNouns, rng);
+}
+
+std::string ValuePools::GenusName(util::Rng& rng) {
+  return Pick(kLatinStems, rng) + Pick(kLatinSuffixes, rng);
+}
+
+std::string ValuePools::SpeciesEpithet(util::Rng& rng) {
+  return Pick(kSpeciesEpithets, rng);
+}
+
+std::string ValuePools::FamilyName(util::Rng& rng) {
+  return Pick(kLatinStems, rng) + "idae";
+}
+
+std::string ValuePools::DiseaseName(util::Rng& rng) {
+  return Pick(kLatinStems, rng) + "osis";
+}
+
+std::string ValuePools::EnzymeName(util::Rng& rng) {
+  return Pick(kEnzymeStems, rng) + "ase";
+}
+
+std::string ValuePools::Code(const std::string& prefix, util::Rng& rng) {
+  return prefix + "-" + Integer(1000, 99999, rng);
+}
+
+std::string ValuePools::Year(util::Rng& rng) {
+  return Integer(1950, 2023, rng);
+}
+
+std::string ValuePools::Date(util::Rng& rng) {
+  return Integer(1980, 2023, rng) + "-" + Integer(1, 12, rng) + "-" +
+         Integer(1, 28, rng);
+}
+
+std::string ValuePools::Integer(int64_t lo, int64_t hi, util::Rng& rng) {
+  return std::to_string(rng.UniformInt(lo, hi));
+}
+
+std::string ValuePools::Decimal(double lo, double hi, int precision,
+                                util::Rng& rng) {
+  return util::FormatDouble(rng.Uniform(lo, hi), precision);
+}
+
+const std::string& ValuePools::Pick(const std::vector<std::string>& pool,
+                                    util::Rng& rng) {
+  CHECK(!pool.empty());
+  return pool[static_cast<size_t>(rng.UniformInt(pool.size()))];
+}
+
+}  // namespace explainti::data

@@ -1,0 +1,68 @@
+#ifndef EXPLAINTI_DATA_VALUE_POOLS_H_
+#define EXPLAINTI_DATA_VALUE_POOLS_H_
+
+#include <string>
+#include <vector>
+
+#include "util/rng.h"
+
+namespace explainti::data {
+
+/// Value pools for the synthetic corpora.
+///
+/// The crucial design point (DESIGN.md): *people share one name pool*
+/// regardless of occupation, so cell values alone cannot distinguish a
+/// basketball player from a film director — exactly the under-determination
+/// the paper's Example I describes — while team/club/country pools are
+/// domain-unique and therefore strong evidence.
+class ValuePools {
+ public:
+  /// A full person name ("jordan smith"); shared across all person
+  /// subtypes.
+  static std::string PersonName(util::Rng& rng);
+
+  static const std::vector<std::string>& NbaTeams();
+  static const std::vector<std::string>& NflTeams();
+  static const std::vector<std::string>& SoccerClubs();
+  static const std::vector<std::string>& Countries();
+  static const std::vector<std::string>& Capitals();  ///< Parallel to Countries().
+  static const std::vector<std::string>& Cities();
+  static const std::vector<std::string>& Universities();
+  static const std::vector<std::string>& Companies();
+  static const std::vector<std::string>& Parties();
+  static const std::vector<std::string>& Currencies();
+  static const std::vector<std::string>& Genres();
+  static const std::vector<std::string>& Habitats();
+  static const std::vector<std::string>& Continents();
+  static const std::vector<std::string>& ConservationStatuses();
+
+  /// Generated creative-work titles ("the silent river").
+  static std::string FilmTitle(util::Rng& rng);
+  static std::string AlbumTitle(util::Rng& rng);
+  static std::string BookTitle(util::Rng& rng);
+  static std::string SeriesTitle(util::Rng& rng);
+
+  /// Latin-flavoured binomials for the GitTable organism domain.
+  static std::string GenusName(util::Rng& rng);
+  static std::string SpeciesEpithet(util::Rng& rng);
+  static std::string FamilyName(util::Rng& rng);
+  static std::string DiseaseName(util::Rng& rng);
+  static std::string EnzymeName(util::Rng& rng);
+
+  /// Identifier-style codes ("sp-48127", "prot-0931").
+  static std::string Code(const std::string& prefix, util::Rng& rng);
+
+  static std::string Year(util::Rng& rng);
+  static std::string Date(util::Rng& rng);
+  static std::string Integer(int64_t lo, int64_t hi, util::Rng& rng);
+  static std::string Decimal(double lo, double hi, int precision,
+                             util::Rng& rng);
+
+  /// Uniform pick from a pool.
+  static const std::string& Pick(const std::vector<std::string>& pool,
+                                 util::Rng& rng);
+};
+
+}  // namespace explainti::data
+
+#endif  // EXPLAINTI_DATA_VALUE_POOLS_H_

@@ -1,0 +1,492 @@
+#include "data/wiki_generator.h"
+
+#include <functional>
+#include <unordered_map>
+
+#include "data/value_pools.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace explainti::data {
+
+namespace {
+
+/// One column of a schema blueprint.
+struct ColumnSpec {
+  std::string header;                    ///< Specific header.
+  std::string generic_header;            ///< "" = never generalised.
+  std::string fine_label;
+  std::vector<std::string> coarse_labels;
+  /// Cell values alone identify the fine label (unique pool).
+  bool values_are_evidence = false;
+  /// Optional disambiguating sibling; may be dropped per table.
+  bool is_context_column = false;
+};
+
+struct RelationSpec {
+  int left;
+  int right;
+  std::string label;
+};
+
+/// A table schema: a title maker, column specs, a row maker producing one
+/// cell per column, and the relations between columns.
+struct TableBlueprint {
+  std::string schema_name;
+  std::function<std::string(util::Rng&)> make_title;
+  std::vector<std::string> title_evidence;  ///< Domain tokens in the title.
+  std::vector<ColumnSpec> columns;
+  std::function<std::vector<std::string>(util::Rng&)> make_row;
+  std::vector<RelationSpec> relations;
+};
+
+using VP = ValuePools;
+
+std::vector<TableBlueprint> BuildBlueprints() {
+  std::vector<TableBlueprint> blueprints;
+
+  // 1. NBA draft -----------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "nba_draft",
+      [](util::Rng& rng) { return VP::Year(rng) + " nba draft"; },
+      {"nba"},
+      {
+          {"player", "name", "person.basketball_player", {"person"}, false,
+           false},
+          {"nba team", "team", "sports_team.basketball", {"sports_team"},
+           true, true},
+          {"college", "", "organization.university", {"organization"}, true,
+           true},
+          {"pick", "", "number", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{
+            VP::PersonName(rng), VP::Pick(VP::NbaTeams(), rng),
+            VP::Pick(VP::Universities(), rng), VP::Integer(1, 60, rng)};
+      },
+      {{0, 1, "basketball.player_team"}, {0, 2, "person.education"}}});
+
+  // 2. NFL draft -----------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "nfl_draft",
+      [](util::Rng& rng) { return VP::Year(rng) + " nfl draft"; },
+      {"nfl"},
+      {
+          {"player", "name", "person.football_player", {"person"}, false,
+           false},
+          {"nfl team", "team", "sports_team.football", {"sports_team"}, true,
+           true},
+          {"college", "", "organization.university", {"organization"}, true,
+           true},
+          {"round", "", "number", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{
+            VP::PersonName(rng), VP::Pick(VP::NflTeams(), rng),
+            VP::Pick(VP::Universities(), rng), VP::Integer(1, 7, rng)};
+      },
+      {{0, 1, "football.player_team"}, {0, 2, "person.education"}}});
+
+  // 3. Soccer season -------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "soccer_season",
+      [](util::Rng& rng) { return VP::Year(rng) + " football league season"; },
+      {"football", "league"},
+      {
+          {"club", "team", "sports_team.soccer", {"sports_team"}, true,
+           false},
+          {"manager", "name", "person.coach", {"person"}, false,
+           true},
+          {"points", "", "number", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{VP::Pick(VP::SoccerClubs(), rng),
+                                        VP::PersonName(rng),
+                                        VP::Integer(20, 98, rng)};
+      },
+      {{0, 1, "sports.team_manager"}}});
+
+  // 4. Films ----------------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "films",
+      [](util::Rng& rng) { return "films of " + VP::Year(rng); },
+      {"films"},
+      {
+          {"film", "title", "work.film", {"creative_work"}, false, false},
+          {"director", "name", "person.film_director", {"person"}, false,
+           true},
+          {"genre", "", "genre", {}, true, true},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{VP::FilmTitle(rng),
+                                        VP::PersonName(rng),
+                                        VP::Pick(VP::Genres(), rng)};
+      },
+      {{0, 1, "film.director"}, {0, 2, "film.genre"}}});
+
+  // 5. Albums ---------------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "albums",
+      [](util::Rng& rng) { return "albums released in " + VP::Year(rng); },
+      {"albums"},
+      {
+          {"album", "title", "work.album", {"creative_work"}, false, false},
+          {"artist", "name", "person.musician", {"person"}, false, true},
+          {"year", "", "year", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{
+            VP::AlbumTitle(rng), VP::PersonName(rng), VP::Year(rng)};
+      },
+      {{0, 1, "music.artist"}}});
+
+  // 6. Countries --------------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "countries",
+      [](util::Rng& rng) {
+        return "countries of " + VP::Pick(VP::Continents(), rng);
+      },
+      {"countries"},
+      {
+          {"country", "", "location.country", {"location"}, true, false},
+          {"capital", "city", "location.city", {"location"}, true, true},
+          {"currency", "", "currency", {}, true, true},
+          {"population", "", "number", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        const size_t i =
+            static_cast<size_t>(rng.UniformInt(VP::Countries().size()));
+        return std::vector<std::string>{
+            VP::Countries()[i], VP::Capitals()[i],
+            VP::Pick(VP::Currencies(), rng),
+            VP::Integer(100000, 99000000, rng)};
+      },
+      {{0, 1, "location.capital"}, {0, 2, "location.currency"}}});
+
+  // 7. Cities --------------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "cities",
+      [](util::Rng& rng) {
+        return "largest cities in " + VP::Pick(VP::Countries(), rng);
+      },
+      {"cities"},
+      {
+          {"city", "", "location.city", {"location"}, true, false},
+          {"country", "", "location.country", {"location"}, true, true},
+          {"population", "", "number", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{VP::Pick(VP::Cities(), rng),
+                                        VP::Pick(VP::Countries(), rng),
+                                        VP::Integer(50000, 20000000, rng)};
+      },
+      {{0, 1, "location.containedby"}}});
+
+  // 8. Universities -----------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "universities",
+      [](util::Rng& rng) {
+        return "universities in " + VP::Pick(VP::Countries(), rng);
+      },
+      {"universities"},
+      {
+          {"university", "name", "organization.university", {"organization"},
+           true, false},
+          {"city", "", "location.city", {"location"}, true, true},
+          {"established", "", "year", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{VP::Pick(VP::Universities(), rng),
+                                        VP::Pick(VP::Cities(), rng),
+                                        VP::Year(rng)};
+      },
+      {{0, 1, "organization.headquarters"}}});
+
+  // 9. Companies ---------------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "companies",
+      [](util::Rng& rng) { return "largest companies " + VP::Year(rng); },
+      {"companies"},
+      {
+          {"company", "name", "organization.company", {"organization"}, true,
+           false},
+          {"chief executive", "name", "person.executive", {"person"}, false,
+           true},
+          {"revenue", "", "number", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{VP::Pick(VP::Companies(), rng),
+                                        VP::PersonName(rng),
+                                        VP::Integer(100, 500000, rng)};
+      },
+      {{0, 1, "organization.leadership"}}});
+
+  // 10. Elections ---------------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "elections",
+      [](util::Rng& rng) { return VP::Year(rng) + " election results"; },
+      {"election"},
+      {
+          {"candidate", "name", "person.politician", {"person"}, false,
+           false},
+          {"party", "", "organization.party", {"organization"}, true, true},
+          {"votes", "", "number", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{VP::PersonName(rng),
+                                        VP::Pick(VP::Parties(), rng),
+                                        VP::Integer(1000, 5000000, rng)};
+      },
+      {{0, 1, "politics.party"}}});
+
+  // 11. Books ----------------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "books",
+      [](util::Rng& rng) { return "notable books of " + VP::Year(rng); },
+      {"books"},
+      {
+          {"book", "title", "work.book", {"creative_work"}, false, false},
+          {"author", "name", "person.author", {"person"}, false, true},
+          {"year", "", "year", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{
+            VP::BookTitle(rng), VP::PersonName(rng), VP::Year(rng)};
+      },
+      {{0, 1, "book.author"}}});
+
+  // 12. TV series ---------------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "tv_series",
+      [](util::Rng& rng) {
+        return "television series " + VP::Year(rng) + " cast";
+      },
+      {"television"},
+      {
+          {"series", "title", "work.tv_series", {"creative_work"}, false,
+           false},
+          {"actor", "name", "person.actor", {"person"}, false, true},
+          {"genre", "", "genre", {}, true, true},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{VP::SeriesTitle(rng),
+                                        VP::PersonName(rng),
+                                        VP::Pick(VP::Genres(), rng)};
+      },
+      {{0, 1, "tv.cast"}}});
+
+  // 13. Olympics medal table ------------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "olympics",
+      [](util::Rng& rng) { return VP::Year(rng) + " olympics medal table"; },
+      {"olympics"},
+      {
+          {"country", "", "location.country", {"location"}, true, false},
+          {"gold", "", "number", {}, false, false},
+          {"total", "", "number", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{VP::Pick(VP::Countries(), rng),
+                                        VP::Integer(0, 40, rng),
+                                        VP::Integer(0, 120, rng)};
+      },
+      {}});
+
+  // 14. Basketball season stats ------------------------------------------------
+  blueprints.push_back(TableBlueprint{
+      "nba_season",
+      [](util::Rng& rng) { return VP::Year(rng) + " nba season standings"; },
+      {"nba"},
+      {
+          {"nba team", "team", "sports_team.basketball", {"sports_team"},
+           true, false},
+          {"coach", "name", "person.coach", {"person"}, false,
+           true},
+          {"wins", "", "number", {}, false, false},
+      },
+      [](util::Rng& rng) {
+        return std::vector<std::string>{VP::Pick(VP::NbaTeams(), rng),
+                                        VP::PersonName(rng),
+                                        VP::Integer(10, 73, rng)};
+      },
+      {{0, 1, "sports.team_manager"}}});
+
+  return blueprints;
+}
+
+const std::vector<std::string> kGenericTitles = {
+    "season results",  "annual list",   "statistics overview",
+    "records",         "summary table", "yearly rankings"};
+
+/// Interns a label name into the corpus label list, returning its id.
+int LabelId(std::vector<std::string>* names,
+            std::unordered_map<std::string, int>* ids,
+            const std::string& name) {
+  auto [it, inserted] =
+      ids->try_emplace(name, static_cast<int>(names->size()));
+  if (inserted) names->push_back(name);
+  return it->second;
+}
+
+}  // namespace
+
+TableCorpus GenerateWikiTableCorpus(const WikiTableOptions& options) {
+  CHECK_GT(options.num_tables, 0);
+  CHECK_LE(options.min_rows, options.max_rows);
+
+  const std::vector<TableBlueprint> blueprints = BuildBlueprints();
+  util::Rng rng(options.seed);
+
+  TableCorpus corpus;
+  corpus.name = "SynthWikiTable";
+  corpus.type_multi_label = true;
+  std::unordered_map<std::string, int> type_ids;
+  std::unordered_map<std::string, int> relation_ids;
+
+  // Register all labels up front so ids are stable regardless of which
+  // schemas happen to be drawn.
+  for (const TableBlueprint& bp : blueprints) {
+    for (const ColumnSpec& col : bp.columns) {
+      LabelId(&corpus.type_label_names, &type_ids, col.fine_label);
+      for (const std::string& coarse : col.coarse_labels) {
+        LabelId(&corpus.type_label_names, &type_ids, coarse);
+      }
+    }
+    for (const RelationSpec& rel : bp.relations) {
+      LabelId(&corpus.relation_label_names, &relation_ids, rel.label);
+    }
+  }
+
+  for (int t = 0; t < options.num_tables; ++t) {
+    const TableBlueprint& bp =
+        blueprints[static_cast<size_t>(rng.UniformInt(blueprints.size()))];
+
+    // Decide the table-level ambiguity knobs.
+    const bool title_informative = !rng.Bernoulli(options.generic_title_prob);
+    std::vector<bool> include(bp.columns.size(), true);
+    for (size_t c = 0; c < bp.columns.size(); ++c) {
+      if (bp.columns[c].is_context_column) {
+        include[c] = rng.Bernoulli(options.context_column_prob);
+      }
+    }
+    std::vector<bool> generic_header(bp.columns.size(), false);
+    for (size_t c = 0; c < bp.columns.size(); ++c) {
+      if (!bp.columns[c].generic_header.empty()) {
+        generic_header[c] = rng.Bernoulli(options.generic_header_prob);
+      }
+    }
+
+    Table table;
+    table.title = title_informative
+                      ? bp.make_title(rng)
+                      : VP::Pick(kGenericTitles, rng) + " " + VP::Year(rng);
+
+    // Column skeletons.
+    std::vector<int> dense_index(bp.columns.size(), -1);
+    for (size_t c = 0; c < bp.columns.size(); ++c) {
+      if (!include[c]) continue;
+      dense_index[c] = static_cast<int>(table.columns.size());
+      Column column;
+      column.header = generic_header[c] ? bp.columns[c].generic_header
+                                        : bp.columns[c].header;
+      table.columns.push_back(std::move(column));
+    }
+
+    // Rows.
+    const int rows = static_cast<int>(
+        rng.UniformInt(options.min_rows, options.max_rows));
+    for (int r = 0; r < rows; ++r) {
+      const std::vector<std::string> row = bp.make_row(rng);
+      CHECK_EQ(row.size(), bp.columns.size());
+      for (size_t c = 0; c < bp.columns.size(); ++c) {
+        if (dense_index[c] >= 0) {
+          table.columns[static_cast<size_t>(dense_index[c])].cells.push_back(
+              row[c]);
+        }
+      }
+    }
+
+    const int table_index = static_cast<int>(corpus.tables.size());
+
+    // Type samples with the evidence oracle.
+    for (size_t c = 0; c < bp.columns.size(); ++c) {
+      if (dense_index[c] < 0) continue;
+      const ColumnSpec& spec = bp.columns[c];
+      TypeSample sample;
+      sample.table_index = table_index;
+      sample.column_index = dense_index[c];
+      sample.labels.push_back(
+          LabelId(&corpus.type_label_names, &type_ids, spec.fine_label));
+      for (const std::string& coarse : spec.coarse_labels) {
+        sample.labels.push_back(
+            LabelId(&corpus.type_label_names, &type_ids, coarse));
+      }
+      if (title_informative) {
+        sample.evidence.insert(sample.evidence.end(),
+                               bp.title_evidence.begin(),
+                               bp.title_evidence.end());
+      }
+      if (!generic_header[c]) {
+        for (const std::string& tok : text::BasicTokenize(spec.header)) {
+          sample.evidence.push_back(tok);
+        }
+      }
+      if (spec.values_are_evidence) {
+        const Column& column =
+            table.columns[static_cast<size_t>(dense_index[c])];
+        for (size_t r = 0; r < column.cells.size() && r < 3; ++r) {
+          for (const std::string& tok : text::BasicTokenize(column.cells[r])) {
+            sample.evidence.push_back(tok);
+          }
+        }
+      }
+      corpus.type_samples.push_back(std::move(sample));
+    }
+
+    // Relation samples.
+    for (const RelationSpec& rel : bp.relations) {
+      const int left = dense_index[static_cast<size_t>(rel.left)];
+      const int right = dense_index[static_cast<size_t>(rel.right)];
+      if (left < 0 || right < 0) continue;
+      RelationSample sample;
+      sample.table_index = table_index;
+      sample.left_column = left;
+      sample.right_column = right;
+      sample.label =
+          LabelId(&corpus.relation_label_names, &relation_ids, rel.label);
+      if (title_informative) {
+        sample.evidence.insert(sample.evidence.end(),
+                               bp.title_evidence.begin(),
+                               bp.title_evidence.end());
+      }
+      for (int side : {rel.left, rel.right}) {
+        const ColumnSpec& spec = bp.columns[static_cast<size_t>(side)];
+        if (!generic_header[static_cast<size_t>(side)]) {
+          for (const std::string& tok : text::BasicTokenize(spec.header)) {
+            sample.evidence.push_back(tok);
+          }
+        }
+        if (spec.values_are_evidence) {
+          const Column& column = table.columns[static_cast<size_t>(
+              dense_index[static_cast<size_t>(side)])];
+          for (size_t r = 0; r < column.cells.size() && r < 2; ++r) {
+            for (const std::string& tok :
+                 text::BasicTokenize(column.cells[r])) {
+              sample.evidence.push_back(tok);
+            }
+          }
+        }
+      }
+      corpus.relation_samples.push_back(std::move(sample));
+    }
+
+    corpus.tables.push_back(std::move(table));
+  }
+
+  AssignSplits(&corpus, options.train_fraction, options.valid_fraction,
+               options.seed + 1);
+  return corpus;
+}
+
+}  // namespace explainti::data

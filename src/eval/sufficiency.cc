@@ -1,0 +1,138 @@
+#include "eval/sufficiency.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "nn/linear.h"
+#include "tensor/optimizer.h"
+#include "tensor/tensor_ops.h"
+#include "text/tokenizer.h"
+#include "util/logging.h"
+#include "util/rng.h"
+
+namespace explainti::eval {
+
+namespace {
+
+uint64_t HashToken(const std::string& token) {
+  uint64_t h = 1469598103934665603ULL;  // FNV-1a.
+  for (char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 1099511628211ULL;
+  }
+  return h;
+}
+
+std::vector<float> BagOfWords(const std::string& textual, int hash_dim) {
+  std::vector<float> features(static_cast<size_t>(hash_dim), 0.0f);
+  int64_t total = 0;
+  for (const std::string& token : text::BasicTokenize(textual)) {
+    features[static_cast<size_t>(HashToken(token) % hash_dim)] += 1.0f;
+    ++total;
+  }
+  if (total > 0) {
+    for (float& v : features) v /= static_cast<float>(total);
+  }
+  return features;
+}
+
+/// Two-layer probe; self-contained to keep eval independent of baselines.
+class Probe : public nn::Module {
+ public:
+  Probe(int64_t in_dim, int64_t hidden_dim, int64_t out_dim, util::Rng& rng)
+      : hidden_(in_dim, hidden_dim, rng), out_(hidden_dim, out_dim, rng) {
+    AddChild(&hidden_);
+    AddChild(&out_);
+  }
+  tensor::Tensor Forward(const tensor::Tensor& x) const {
+    return out_.Forward(tensor::Relu(hidden_.Forward(x)));
+  }
+
+ private:
+  nn::Linear hidden_;
+  nn::Linear out_;
+};
+
+}  // namespace
+
+F1Scores EvaluateSufficiency(const ExplanationDataset& dataset,
+                             const SufficiencyProbeOptions& options) {
+  CHECK_GT(dataset.num_labels, 0);
+  CHECK_EQ(dataset.train_texts.size(), dataset.train_labels.size());
+  CHECK_EQ(dataset.test_texts.size(), dataset.test_labels.size());
+  CHECK(!dataset.train_texts.empty());
+
+  util::Rng rng(options.seed);
+  Probe probe(options.hash_dim, options.hidden_dim, dataset.num_labels, rng);
+
+  std::vector<std::vector<float>> train_features;
+  train_features.reserve(dataset.train_texts.size());
+  for (const std::string& textual : dataset.train_texts) {
+    train_features.push_back(BagOfWords(textual, options.hash_dim));
+  }
+
+  tensor::AdamWOptions adam_options;
+  adam_options.learning_rate = options.learning_rate;
+  tensor::AdamW optimizer(probe.Parameters(), adam_options);
+
+  std::vector<size_t> order(train_features.size());
+  for (size_t i = 0; i < order.size(); ++i) order[i] = i;
+
+  for (int epoch = 0; epoch < options.epochs; ++epoch) {
+    rng.Shuffle(order);
+    optimizer.ZeroGrad();
+    int in_batch = 0;
+    for (size_t i = 0; i < order.size(); ++i) {
+      const size_t id = order[i];
+      tensor::Tensor x = tensor::Tensor::FromVector(
+          {options.hash_dim}, train_features[id]);
+      tensor::Tensor logits = probe.Forward(x);
+      tensor::Tensor loss;
+      if (dataset.multi_label) {
+        std::vector<float> y(static_cast<size_t>(dataset.num_labels), 0.0f);
+        for (int label : dataset.train_labels[id]) {
+          y[static_cast<size_t>(label)] = 1.0f;
+        }
+        loss = tensor::BceWithLogitsLoss(logits, y);
+      } else {
+        loss = tensor::CrossEntropyLoss(logits, dataset.train_labels[id][0]);
+      }
+      loss =
+          tensor::Scale(loss, 1.0f / static_cast<float>(options.batch_size));
+      loss.Backward();
+      ++in_batch;
+      if (in_batch == options.batch_size || i + 1 == order.size()) {
+        optimizer.Step();
+        optimizer.ZeroGrad();
+        in_batch = 0;
+      }
+    }
+  }
+
+  std::vector<LabeledPrediction> predictions;
+  predictions.reserve(dataset.test_texts.size());
+  for (size_t i = 0; i < dataset.test_texts.size(); ++i) {
+    tensor::Tensor logits = probe.Forward(tensor::Tensor::FromVector(
+        {options.hash_dim}, BagOfWords(dataset.test_texts[i],
+                                       options.hash_dim)));
+    const std::vector<float> values = logits.ToVector();
+    LabeledPrediction p;
+    p.gold = dataset.test_labels[i];
+    if (dataset.multi_label) {
+      for (size_t c = 0; c < values.size(); ++c) {
+        if (values[c] >= 0.0f) p.predicted.push_back(static_cast<int>(c));
+      }
+      if (p.predicted.empty()) {
+        p.predicted.push_back(static_cast<int>(
+            std::max_element(values.begin(), values.end()) - values.begin()));
+      }
+    } else {
+      p.predicted.push_back(static_cast<int>(
+          std::max_element(values.begin(), values.end()) - values.begin()));
+    }
+    predictions.push_back(std::move(p));
+  }
+  return ComputeF1(predictions, dataset.num_labels);
+}
+
+}  // namespace explainti::eval

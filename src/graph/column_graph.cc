@@ -1,0 +1,106 @@
+#include "graph/column_graph.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+
+namespace explainti::graph {
+
+const char* BridgeKindName(BridgeKind kind) {
+  switch (kind) {
+    case BridgeKind::kTitle:
+      return "title";
+    case BridgeKind::kHeader:
+      return "header";
+    case BridgeKind::kSelf:
+      return "self";
+  }
+  return "?";
+}
+
+void ColumnGraph::AddSample(int sample_id, const std::string& title_key,
+                            const std::string& header_key) {
+  CHECK_EQ(sample_id, num_samples_)
+      << "samples must be added with dense, increasing ids";
+  ++num_samples_;
+
+  Membership membership;
+  {
+    auto [it, inserted] = title_group_ids_.try_emplace(
+        title_key, static_cast<int>(title_groups_.size()));
+    if (inserted) title_groups_.emplace_back();
+    membership.title_group = it->second;
+    title_groups_[static_cast<size_t>(it->second)].push_back(sample_id);
+  }
+  {
+    auto [it, inserted] = header_group_ids_.try_emplace(
+        header_key, static_cast<int>(header_groups_.size()));
+    if (inserted) header_groups_.emplace_back();
+    membership.header_group = it->second;
+    header_groups_[static_cast<size_t>(it->second)].push_back(sample_id);
+  }
+  memberships_.push_back(membership);
+}
+
+std::vector<SampledNeighbor> ColumnGraph::Neighbors(int sample_id) const {
+  CHECK(sample_id >= 0 && sample_id < num_samples_);
+  const Membership& m = memberships_[static_cast<size_t>(sample_id)];
+  std::vector<SampledNeighbor> out;
+  std::unordered_set<int> seen;
+  for (int other : title_groups_[static_cast<size_t>(m.title_group)]) {
+    if (other == sample_id) continue;
+    if (seen.insert(other).second) {
+      out.push_back(SampledNeighbor{other, BridgeKind::kTitle});
+    }
+  }
+  for (int other : header_groups_[static_cast<size_t>(m.header_group)]) {
+    if (other == sample_id) continue;
+    if (seen.insert(other).second) {
+      out.push_back(SampledNeighbor{other, BridgeKind::kHeader});
+    }
+  }
+  return out;
+}
+
+std::vector<SampledNeighbor> ColumnGraph::SampleNeighbors(
+    int sample_id, int r, util::Rng& rng) const {
+  CHECK_GT(r, 0);
+  CHECK(sample_id >= 0 && sample_id < num_samples_);
+  const Membership& m = memberships_[static_cast<size_t>(sample_id)];
+  const auto& title_group = title_groups_[static_cast<size_t>(m.title_group)];
+  const auto& header_group =
+      header_groups_[static_cast<size_t>(m.header_group)];
+  // Sizes excluding the sample itself (it belongs to both groups).
+  const size_t title_others = title_group.size() - 1;
+  const size_t header_others = header_group.size() - 1;
+
+  std::vector<SampledNeighbor> out;
+  out.reserve(static_cast<size_t>(r));
+  if (title_others + header_others == 0) {
+    out.assign(static_cast<size_t>(r),
+               SampledNeighbor{sample_id, BridgeKind::kSelf});
+    return out;
+  }
+
+  // Uniform over the multiset of (bridge, neighbour) edges; a neighbour
+  // reachable via both bridges is proportionally more likely, matching
+  // uniform sampling over graph edges.
+  const size_t total = title_others + header_others;
+  while (out.size() < static_cast<size_t>(r)) {
+    size_t pick = static_cast<size_t>(rng.UniformInt(total));
+    if (pick < title_others) {
+      // Skip over the sample itself within its group.
+      int chosen = title_group[pick];
+      if (chosen == sample_id) chosen = title_group[title_others];
+      out.push_back(SampledNeighbor{chosen, BridgeKind::kTitle});
+    } else {
+      pick -= title_others;
+      int chosen = header_group[pick];
+      if (chosen == sample_id) chosen = header_group[header_others];
+      out.push_back(SampledNeighbor{chosen, BridgeKind::kHeader});
+    }
+  }
+  return out;
+}
+
+}  // namespace explainti::graph

@@ -1,0 +1,59 @@
+#include "nn/attention.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace explainti::nn {
+
+MultiHeadSelfAttention::MultiHeadSelfAttention(const TransformerConfig& config,
+                                               util::Rng& rng)
+    : config_(config),
+      wq_(config.d_model, config.d_model, rng),
+      wk_(config.d_model, config.d_model, rng),
+      wv_(config.d_model, config.d_model, rng),
+      wo_(config.d_model, config.d_model, rng) {
+  CHECK_EQ(config.d_model % config.num_heads, 0)
+      << "d_model must be divisible by num_heads";
+  AddChild(&wq_);
+  AddChild(&wk_);
+  AddChild(&wv_);
+  AddChild(&wo_);
+}
+
+tensor::Tensor MultiHeadSelfAttention::Forward(const tensor::Tensor& x,
+                                               const tensor::Tensor& mask,
+                                               bool training,
+                                               util::Rng& rng) const {
+  const int64_t head_dim = config_.d_model / config_.num_heads;
+  const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
+
+  tensor::Tensor q = wq_.Forward(x);
+  tensor::Tensor k = wk_.Forward(x);
+  tensor::Tensor v = wv_.Forward(x);
+
+  std::vector<tensor::Tensor> head_outputs;
+  head_outputs.reserve(static_cast<size_t>(config_.num_heads));
+  for (int64_t h = 0; h < config_.num_heads; ++h) {
+    const int64_t lo = h * head_dim;
+    const int64_t hi = lo + head_dim;
+    tensor::Tensor qh = tensor::SliceCols(q, lo, hi);
+    tensor::Tensor kh = tensor::SliceCols(k, lo, hi);
+    tensor::Tensor vh = tensor::SliceCols(v, lo, hi);
+
+    tensor::Tensor scores =
+        tensor::Scale(tensor::MatMul(qh, tensor::Transpose(kh)), scale);
+    if (mask.defined()) {
+      scores = tensor::Add(scores, mask);
+    }
+    tensor::Tensor attn = tensor::Softmax(scores);
+    attn = tensor::Dropout(attn, config_.dropout, rng, training);
+    head_outputs.push_back(tensor::MatMul(attn, vh));
+  }
+
+  tensor::Tensor context = tensor::ConcatCols(head_outputs);
+  return wo_.Forward(context);
+}
+
+}  // namespace explainti::nn

@@ -1,0 +1,56 @@
+#include "nn/encoder.h"
+
+#include "tensor/tensor_ops.h"
+
+namespace explainti::nn {
+
+EncoderLayer::EncoderLayer(const TransformerConfig& config, util::Rng& rng)
+    : config_(config),
+      attention_(config, rng),
+      ffn_in_(config.d_model, config.ffn_dim, rng),
+      ffn_out_(config.ffn_dim, config.d_model, rng) {
+  ln1_gamma_ = AddParameter(tensor::Tensor::Full({config.d_model}, 1.0f));
+  ln1_beta_ = AddParameter(tensor::Tensor::Zeros({config.d_model}));
+  ln2_gamma_ = AddParameter(tensor::Tensor::Full({config.d_model}, 1.0f));
+  ln2_beta_ = AddParameter(tensor::Tensor::Zeros({config.d_model}));
+  AddChild(&attention_);
+  AddChild(&ffn_in_);
+  AddChild(&ffn_out_);
+}
+
+tensor::Tensor EncoderLayer::Forward(const tensor::Tensor& x,
+                                     const tensor::Tensor& mask, bool training,
+                                     util::Rng& rng) const {
+  tensor::Tensor attn = attention_.Forward(x, mask, training, rng);
+  attn = tensor::Dropout(attn, config_.dropout, rng, training);
+  tensor::Tensor h =
+      tensor::LayerNorm(tensor::Add(x, attn), ln1_gamma_, ln1_beta_);
+
+  tensor::Tensor ffn = ffn_out_.Forward(tensor::Gelu(ffn_in_.Forward(h)));
+  ffn = tensor::Dropout(ffn, config_.dropout, rng, training);
+  return tensor::LayerNorm(tensor::Add(h, ffn), ln2_gamma_, ln2_beta_);
+}
+
+TransformerEncoder::TransformerEncoder(const TransformerConfig& config,
+                                       util::Rng& rng)
+    : config_(config), embeddings_(config, rng) {
+  AddChild(&embeddings_);
+  layers_.reserve(static_cast<size_t>(config.num_layers));
+  for (int64_t i = 0; i < config.num_layers; ++i) {
+    layers_.push_back(std::make_unique<EncoderLayer>(config, rng));
+    AddChild(layers_.back().get());
+  }
+}
+
+tensor::Tensor TransformerEncoder::Forward(const std::vector<int>& ids,
+                                           const std::vector<int>& segments,
+                                           bool training, util::Rng& rng,
+                                           const tensor::Tensor& mask) const {
+  tensor::Tensor x = embeddings_.Forward(ids, segments, training, rng);
+  for (const auto& layer : layers_) {
+    x = layer->Forward(x, mask, training, rng);
+  }
+  return x;
+}
+
+}  // namespace explainti::nn

@@ -1,0 +1,24 @@
+#include "nn/heads.h"
+
+namespace explainti::nn {
+
+MlmHead::MlmHead(int64_t d_model, int64_t vocab_size, util::Rng& rng)
+    : projection_(d_model, vocab_size, rng) {
+  AddChild(&projection_);
+}
+
+tensor::Tensor MlmHead::Forward(const tensor::Tensor& hidden) const {
+  return projection_.Forward(hidden);
+}
+
+ClassifierHead::ClassifierHead(int64_t in_features, int64_t num_labels,
+                               util::Rng& rng)
+    : projection_(in_features, num_labels, rng) {
+  AddChild(&projection_);
+}
+
+tensor::Tensor ClassifierHead::Forward(const tensor::Tensor& features) const {
+  return projection_.Forward(features);
+}
+
+}  // namespace explainti::nn

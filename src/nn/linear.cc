@@ -1,0 +1,24 @@
+#include "nn/linear.h"
+
+#include <cmath>
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace explainti::nn {
+
+Linear::Linear(int64_t in_features, int64_t out_features, util::Rng& rng) {
+  CHECK_GT(in_features, 0);
+  CHECK_GT(out_features, 0);
+  const float bound = std::sqrt(6.0f / static_cast<float>(in_features +
+                                                          out_features));
+  weight_ = AddParameter(tensor::Tensor::RandUniform({in_features, out_features},
+                                                     rng, bound));
+  bias_ = AddParameter(tensor::Tensor::Zeros({out_features}));
+}
+
+tensor::Tensor Linear::Forward(const tensor::Tensor& x) const {
+  return tensor::Add(tensor::MatMul(x, weight_), bias_);
+}
+
+}  // namespace explainti::nn

@@ -1,0 +1,32 @@
+#ifndef EXPLAINTI_NN_TRANSFORMER_CONFIG_H_
+#define EXPLAINTI_NN_TRANSFORMER_CONFIG_H_
+
+#include <cstdint>
+#include <string>
+
+namespace explainti::nn {
+
+/// Hyper-parameters of the mini transformer encoder.
+///
+/// The defaults are the "quick" scale used throughout the reproduction
+/// (see DESIGN.md): the architecture is BERT's, shrunk to run on a CPU.
+struct TransformerConfig {
+  int64_t vocab_size = 0;   ///< Set from the built vocabulary.
+  int64_t d_model = 64;     ///< Hidden width (BERT-base: 768).
+  int64_t num_heads = 4;    ///< Attention heads (BERT-base: 12).
+  int64_t num_layers = 2;   ///< Encoder layers (BERT-base: 12).
+  int64_t ffn_dim = 128;    ///< Feed-forward inner width.
+  int64_t max_len = 64;     ///< Maximum sequence length (paper: 64).
+  float dropout = 0.1f;     ///< Hidden/attention dropout probability.
+  /// BERT uses segment (token-type) embeddings; RoBERTa does not.
+  bool use_segments = true;
+
+  /// Returns a config matching the named base model ("bert" or
+  /// "roberta") at this reproduction's scale.
+  static TransformerConfig ForBaseModel(const std::string& base_model,
+                                        int64_t vocab_size);
+};
+
+}  // namespace explainti::nn
+
+#endif  // EXPLAINTI_NN_TRANSFORMER_CONFIG_H_

@@ -1,0 +1,84 @@
+#ifndef EXPLAINTI_TENSOR_OPTIMIZER_H_
+#define EXPLAINTI_TENSOR_OPTIMIZER_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/tensor.h"
+
+namespace explainti::tensor {
+
+/// Linearly decreasing learning-rate schedule with warmup, as used by the
+/// paper ("learning rate is set to 5e-5 with a linearly decreasing
+/// learning rate schedule").
+class LinearSchedule {
+ public:
+  /// `total_steps` is the number of optimiser steps over the whole run;
+  /// `warmup_steps` ramp linearly from 0 to `base_lr`, after which the rate
+  /// decays linearly to 0 at `total_steps`.
+  LinearSchedule(float base_lr, int64_t total_steps, int64_t warmup_steps = 0);
+
+  /// Learning rate at optimiser step `step` (0-based).
+  float LearningRate(int64_t step) const;
+
+ private:
+  float base_lr_;
+  int64_t total_steps_;
+  int64_t warmup_steps_;
+};
+
+/// Configuration for AdamW.
+struct AdamWOptions {
+  float learning_rate = 5e-4f;
+  float beta1 = 0.9f;
+  float beta2 = 0.999f;
+  float eps = 1e-8f;
+  float weight_decay = 0.01f;
+  /// Gradient clipping by global L2 norm; <= 0 disables.
+  float max_grad_norm = 1.0f;
+};
+
+/// AdamW (decoupled weight decay) over a fixed set of parameter tensors.
+///
+/// Parameters are leaves with `requires_grad() == true`; the trainer calls
+/// `ZeroGrad()`, runs forward/backward (possibly accumulating several
+/// samples), then `Step()`.
+class AdamW {
+ public:
+  AdamW(std::vector<Tensor> parameters, AdamWOptions options);
+
+  /// Zeroes every parameter's gradient.
+  void ZeroGrad();
+
+  /// Applies one AdamW update using the current gradients and
+  /// `learning_rate` (pass the schedule's value; falls back to the
+  /// configured rate when negative).
+  void Step(float learning_rate = -1.0f);
+
+  int64_t step_count() const { return step_count_; }
+  const std::vector<Tensor>& parameters() const { return parameters_; }
+
+ private:
+  std::vector<Tensor> parameters_;
+  AdamWOptions options_;
+  std::vector<std::vector<float>> m_;  // First-moment estimates.
+  std::vector<std::vector<float>> v_;  // Second-moment estimates.
+  int64_t step_count_ = 0;
+};
+
+/// Plain SGD (used by the lightweight baselines and the FRESH probe).
+class Sgd {
+ public:
+  Sgd(std::vector<Tensor> parameters, float learning_rate);
+
+  void ZeroGrad();
+  void Step(float learning_rate = -1.0f);
+
+ private:
+  std::vector<Tensor> parameters_;
+  float learning_rate_;
+};
+
+}  // namespace explainti::tensor
+
+#endif  // EXPLAINTI_TENSOR_OPTIMIZER_H_

@@ -1,0 +1,132 @@
+#include "text/serializer.h"
+
+#include <unordered_set>
+
+#include "util/logging.h"
+#include "util/string_util.h"
+
+namespace explainti::text {
+
+SequenceSerializer::SequenceSerializer(const Tokenizer* tokenizer, int max_len,
+                                       bool dedup_cells)
+    : tokenizer_(tokenizer), max_len_(max_len), dedup_cells_(dedup_cells) {
+  CHECK(tokenizer != nullptr);
+  CHECK_GE(max_len, 8) << "max_len too small to hold a serialised column";
+}
+
+void SequenceSerializer::AppendSpecial(int id, int segment,
+                                       EncodedSequence* seq) const {
+  seq->ids.push_back(id);
+  seq->segments.push_back(segment);
+  seq->tokens.emplace_back(SpecialTokens::Name(id));
+}
+
+void SequenceSerializer::AppendText(const std::string& text, int segment,
+                                    EncodedSequence* seq, int budget) const {
+  for (const std::string& token : tokenizer_->Tokenize(text)) {
+    if (static_cast<int>(seq->ids.size()) >= budget) return;
+    seq->ids.push_back(tokenizer_->vocab().Id(token));
+    seq->segments.push_back(segment);
+    seq->tokens.push_back(token);
+  }
+}
+
+std::vector<std::string> SequenceSerializer::MaybeDedup(
+    const std::vector<std::string>& cells) const {
+  if (!dedup_cells_) return cells;
+  std::vector<std::string> out;
+  std::unordered_set<std::string> seen;
+  for (const std::string& cell : cells) {
+    if (seen.insert(util::ToLower(cell)).second) out.push_back(cell);
+  }
+  return out;
+}
+
+EncodedSequence SequenceSerializer::SerializeColumn(
+    const ColumnText& column) const {
+  EncodedSequence seq;
+  const int budget = max_len_ - 1;  // Reserve the trailing [SEP].
+  AppendSpecial(SpecialTokens::kCls, 0, &seq);
+  AppendText("title " + column.title, 0, &seq, budget);
+  AppendText("header " + column.header, 0, &seq, budget);
+  AppendText("cell", 0, &seq, budget);
+  for (const std::string& cell : MaybeDedup(column.cells)) {
+    if (static_cast<int>(seq.ids.size()) >= budget) break;
+    AppendText(cell, 0, &seq, budget);
+  }
+  AppendSpecial(SpecialTokens::kSep, 0, &seq);
+  seq.sep_pos = static_cast<int>(seq.ids.size()) - 1;
+  return seq;
+}
+
+EncodedSequence SequenceSerializer::SerializePair(
+    const ColumnText& left, const ColumnText& right) const {
+  EncodedSequence seq;
+  // Split the budget so the right column is never squeezed out: first part
+  // may use up to ~60% (title is emitted once on the left side).
+  const int budget_total = max_len_ - 2;  // Two [SEP] tokens.
+  const int budget_left = budget_total * 3 / 5;
+  AppendSpecial(SpecialTokens::kCls, 0, &seq);
+  AppendText("title " + left.title, 0, &seq, budget_left);
+  AppendText("header " + left.header, 0, &seq, budget_left);
+  AppendText("cell", 0, &seq, budget_left);
+  for (const std::string& cell : MaybeDedup(left.cells)) {
+    if (static_cast<int>(seq.ids.size()) >= budget_left) break;
+    AppendText(cell, 0, &seq, budget_left);
+  }
+  AppendSpecial(SpecialTokens::kSep, 0, &seq);
+  seq.sep_pos = static_cast<int>(seq.ids.size()) - 1;
+
+  const int budget_right = budget_total + 1;  // All but the final [SEP].
+  AppendText("header " + right.header, 1, &seq, budget_right);
+  AppendText("cell", 1, &seq, budget_right);
+  for (const std::string& cell : MaybeDedup(right.cells)) {
+    if (static_cast<int>(seq.ids.size()) >= budget_right) break;
+    AppendText(cell, 1, &seq, budget_right);
+  }
+  AppendSpecial(SpecialTokens::kSep, 1, &seq);
+  return seq;
+}
+
+SequenceBuilder::SequenceBuilder(const Tokenizer* tokenizer, int max_len)
+    : tokenizer_(tokenizer), max_len_(max_len) {
+  CHECK(tokenizer != nullptr);
+  CHECK_GE(max_len, 4);
+}
+
+void SequenceBuilder::AddSpecial(int id, int segment) {
+  if (static_cast<int>(seq_.ids.size()) >= max_len_ - 1) return;
+  seq_.ids.push_back(id);
+  seq_.segments.push_back(segment);
+  seq_.tokens.emplace_back(SpecialTokens::Name(id));
+}
+
+void SequenceBuilder::AddText(const std::string& text, int segment) {
+  for (const std::string& token : tokenizer_->Tokenize(text)) {
+    if (static_cast<int>(seq_.ids.size()) >= max_len_ - 1) return;
+    seq_.ids.push_back(tokenizer_->vocab().Id(token));
+    seq_.segments.push_back(segment);
+    seq_.tokens.push_back(token);
+  }
+}
+
+int SequenceBuilder::Remaining() const {
+  return max_len_ - 1 - static_cast<int>(seq_.ids.size());
+}
+
+EncodedSequence SequenceBuilder::Build() {
+  const int last_segment = seq_.segments.empty() ? 0 : seq_.segments.back();
+  seq_.ids.push_back(SpecialTokens::kSep);
+  seq_.segments.push_back(last_segment);
+  seq_.tokens.emplace_back(SpecialTokens::Name(SpecialTokens::kSep));
+  seq_.sep_pos = -1;
+  for (size_t i = 0; i < seq_.ids.size(); ++i) {
+    if (seq_.ids[i] == SpecialTokens::kSep) {
+      seq_.sep_pos = static_cast<int>(i);
+      break;
+    }
+  }
+  return std::move(seq_);
+}
+
+}  // namespace explainti::text

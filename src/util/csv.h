@@ -1,0 +1,26 @@
+#ifndef EXPLAINTI_UTIL_CSV_H_
+#define EXPLAINTI_UTIL_CSV_H_
+
+#include <string>
+#include <vector>
+
+#include "util/status.h"
+
+namespace explainti::util {
+
+/// Parses RFC-4180-style CSV text: comma-separated fields, double-quote
+/// quoting with "" escapes, LF or CRLF row ends. Returns the rows; rows
+/// may have differing field counts (callers validate shape).
+StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
+    const std::string& text);
+
+/// Reads and parses a CSV file.
+StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
+    const std::string& path);
+
+/// Renders rows as CSV text, quoting fields that need it.
+std::string WriteCsv(const std::vector<std::vector<std::string>>& rows);
+
+}  // namespace explainti::util
+
+#endif  // EXPLAINTI_UTIL_CSV_H_

@@ -1,0 +1,38 @@
+#ifndef EXPLAINTI_UTIL_TABLE_PRINTER_H_
+#define EXPLAINTI_UTIL_TABLE_PRINTER_H_
+
+#include <ostream>
+#include <string>
+#include <vector>
+
+namespace explainti::util {
+
+/// Renders aligned plain-text tables; the benchmark binaries use it to print
+/// the same row layout as the paper's tables.
+class TablePrinter {
+ public:
+  /// Creates a printer with the given column headers.
+  explicit TablePrinter(std::vector<std::string> headers);
+
+  /// Appends a row; missing cells render empty, extra cells are dropped.
+  void AddRow(std::vector<std::string> cells);
+
+  /// Appends a horizontal separator row.
+  void AddSeparator();
+
+  /// Writes the formatted table to `os`.
+  void Print(std::ostream& os) const;
+
+ private:
+  std::vector<std::string> headers_;
+  // A row is either cells, or empty + separator flag.
+  struct Row {
+    std::vector<std::string> cells;
+    bool separator = false;
+  };
+  std::vector<Row> rows_;
+};
+
+}  // namespace explainti::util
+
+#endif  // EXPLAINTI_UTIL_TABLE_PRINTER_H_

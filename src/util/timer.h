@@ -1,0 +1,32 @@
+#ifndef EXPLAINTI_UTIL_TIMER_H_
+#define EXPLAINTI_UTIL_TIMER_H_
+
+#include <chrono>
+
+namespace explainti::util {
+
+/// Monotonic wall-clock stopwatch used by the efficiency benchmarks
+/// (Table V) and the trainer's per-epoch reporting.
+class WallTimer {
+ public:
+  WallTimer() { Restart(); }
+
+  /// Resets the start point to now.
+  void Restart() { start_ = std::chrono::steady_clock::now(); }
+
+  /// Seconds elapsed since construction or the last Restart().
+  double ElapsedSeconds() const {
+    const auto now = std::chrono::steady_clock::now();
+    return std::chrono::duration<double>(now - start_).count();
+  }
+
+  /// Milliseconds elapsed since construction or the last Restart().
+  double ElapsedMillis() const { return ElapsedSeconds() * 1e3; }
+
+ private:
+  std::chrono::steady_clock::time_point start_;
+};
+
+}  // namespace explainti::util
+
+#endif  // EXPLAINTI_UTIL_TIMER_H_

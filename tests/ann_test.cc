@@ -1,0 +1,170 @@
+#include <cmath>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "ann/flat_index.h"
+#include "ann/hnsw_index.h"
+#include "util/rng.h"
+
+namespace explainti::ann {
+namespace {
+
+std::vector<float> RandomVector(int dim, util::Rng& rng) {
+  std::vector<float> v(static_cast<size_t>(dim));
+  for (float& x : v) x = static_cast<float>(rng.Normal());
+  return v;
+}
+
+TEST(FlatIndexTest, ExactNearestOnHandBuiltVectors) {
+  FlatIndex index;
+  index.Add(0, {1.0f, 0.0f});
+  index.Add(1, {0.0f, 1.0f});
+  index.Add(2, {0.7f, 0.7f});
+  const auto hits = index.Search({1.0f, 0.1f}, 2);
+  ASSERT_EQ(hits.size(), 2u);
+  EXPECT_EQ(hits[0].id, 0);
+  EXPECT_EQ(hits[1].id, 2);
+  EXPECT_GT(hits[0].similarity, hits[1].similarity);
+}
+
+TEST(FlatIndexTest, CosineIsScaleInvariant) {
+  FlatIndex index;
+  index.Add(0, {1.0f, 0.0f});
+  index.Add(1, {100.0f, 1.0f});
+  const auto small = index.Search({0.5f, 0.01f}, 2);
+  const auto large = index.Search({50.0f, 1.0f}, 2);
+  EXPECT_EQ(small[0].id, large[0].id);
+  EXPECT_NEAR(small[0].similarity, large[0].similarity, 1e-4f);
+}
+
+TEST(FlatIndexTest, KLargerThanSizeReturnsAll) {
+  FlatIndex index;
+  index.Add(7, {1.0f, 2.0f});
+  EXPECT_EQ(index.Search({1.0f, 2.0f}, 10).size(), 1u);
+}
+
+TEST(HnswIndexTest, EmptySearchReturnsNothing) {
+  HnswIndex index;
+  EXPECT_TRUE(index.Search({}, 5).empty());
+}
+
+TEST(HnswIndexTest, SingleElement) {
+  HnswIndex index;
+  index.Add(42, {1.0f, 0.0f, 0.0f});
+  const auto hits = index.Search({1.0f, 0.0f, 0.0f}, 3);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0].id, 42);
+  EXPECT_NEAR(hits[0].similarity, 1.0f, 1e-5f);
+}
+
+TEST(HnswIndexTest, ExactOnTinySet) {
+  // With fewer elements than ef_search, HNSW degenerates to exact search.
+  HnswIndex hnsw;
+  FlatIndex flat;
+  util::Rng rng(1);
+  for (int i = 0; i < 30; ++i) {
+    const auto v = RandomVector(8, rng);
+    hnsw.Add(i, v);
+    flat.Add(i, v);
+  }
+  util::Rng query_rng(2);
+  for (int q = 0; q < 20; ++q) {
+    const auto query = RandomVector(8, query_rng);
+    const auto expected = flat.Search(query, 5);
+    const auto actual = hnsw.Search(query, 5);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i].id) << "query " << q << " rank " << i;
+    }
+  }
+}
+
+struct RecallCase {
+  int num_vectors;
+  int dim;
+  int ef_search;
+  double min_recall;
+};
+
+class HnswRecallTest : public ::testing::TestWithParam<RecallCase> {};
+
+TEST_P(HnswRecallTest, RecallAgainstExactSearch) {
+  const RecallCase param = GetParam();
+  HnswOptions options;
+  options.ef_search = param.ef_search;
+  HnswIndex hnsw(options);
+  FlatIndex flat;
+  util::Rng rng(7);
+  for (int i = 0; i < param.num_vectors; ++i) {
+    const auto v = RandomVector(param.dim, rng);
+    hnsw.Add(i, v);
+    flat.Add(i, v);
+  }
+
+  constexpr int kQueries = 40;
+  constexpr int kTopK = 10;
+  util::Rng query_rng(8);
+  int hits = 0;
+  for (int q = 0; q < kQueries; ++q) {
+    const auto query = RandomVector(param.dim, query_rng);
+    const auto expected = flat.Search(query, kTopK);
+    const auto actual = hnsw.Search(query, kTopK);
+    std::unordered_set<int64_t> truth;
+    for (const SearchResult& r : expected) truth.insert(r.id);
+    for (const SearchResult& r : actual) hits += truth.count(r.id) > 0;
+  }
+  const double recall =
+      static_cast<double>(hits) / (kQueries * kTopK);
+  EXPECT_GE(recall, param.min_recall);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sizes, HnswRecallTest,
+    ::testing::Values(RecallCase{500, 16, 50, 0.90},
+                      RecallCase{2000, 32, 50, 0.90},
+                      RecallCase{2000, 32, 100, 0.95}),
+    [](const ::testing::TestParamInfo<RecallCase>& info) {
+      return "n" + std::to_string(info.param.num_vectors) + "_ef" +
+             std::to_string(info.param.ef_search);
+    });
+
+TEST(HnswIndexTest, DeterministicAcrossInstances) {
+  util::Rng rng(3);
+  std::vector<std::vector<float>> data;
+  for (int i = 0; i < 200; ++i) data.push_back(RandomVector(16, rng));
+
+  HnswIndex a;
+  HnswIndex b;
+  for (int i = 0; i < 200; ++i) {
+    a.Add(i, data[static_cast<size_t>(i)]);
+    b.Add(i, data[static_cast<size_t>(i)]);
+  }
+  const auto query = RandomVector(16, rng);
+  const auto hits_a = a.Search(query, 10);
+  const auto hits_b = b.Search(query, 10);
+  ASSERT_EQ(hits_a.size(), hits_b.size());
+  for (size_t i = 0; i < hits_a.size(); ++i) {
+    EXPECT_EQ(hits_a[i].id, hits_b[i].id);
+  }
+}
+
+TEST(HnswIndexTest, SimilaritiesAreSortedDescending) {
+  HnswIndex index;
+  util::Rng rng(4);
+  for (int i = 0; i < 300; ++i) index.Add(i, RandomVector(8, rng));
+  const auto hits = index.Search(RandomVector(8, rng), 10);
+  for (size_t i = 1; i < hits.size(); ++i) {
+    EXPECT_GE(hits[i - 1].similarity, hits[i].similarity);
+  }
+}
+
+TEST(HnswIndexTest, BuildsMultipleLevels) {
+  HnswIndex index;
+  util::Rng rng(5);
+  for (int i = 0; i < 2000; ++i) index.Add(i, RandomVector(8, rng));
+  EXPECT_GT(index.max_level(), 0);
+}
+
+}  // namespace
+}  // namespace explainti::ann

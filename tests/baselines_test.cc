@@ -1,0 +1,234 @@
+#include <memory>
+
+#include <gtest/gtest.h>
+
+#include "baselines/column_features.h"
+#include "baselines/doduo.h"
+#include "baselines/feature_mlp.h"
+#include "baselines/posthoc.h"
+#include "baselines/self_explain.h"
+#include "baselines/tabert.h"
+#include "baselines/tcn.h"
+#include "baselines/turl.h"
+#include "data/wiki_generator.h"
+#include "text/vocab.h"
+
+namespace explainti::baselines {
+namespace {
+
+data::TableCorpus TinyCorpus() {
+  data::WikiTableOptions options;
+  options.num_tables = 32;
+  return data::GenerateWikiTableCorpus(options);
+}
+
+TransformerBaselineConfig TinyConfig() {
+  TransformerBaselineConfig config;
+  config.epochs = 1;
+  config.pretrain_epochs = 1;
+  return config;
+}
+
+TEST(ColumnFeaturesTest, DimensionIsStable) {
+  ColumnFeatureExtractor extractor;
+  EXPECT_EQ(static_cast<int>(extractor.Extract({"a", "b"}).size()),
+            extractor.dim());
+  EXPECT_EQ(static_cast<int>(extractor.Extract({}).size()), extractor.dim());
+}
+
+TEST(ColumnFeaturesTest, NumericColumnsLookNumeric) {
+  ColumnFeatureExtractor extractor;
+  const auto numeric = extractor.Extract({"123", "456", "789"});
+  const auto textual = extractor.Extract({"abc", "def", "ghi"});
+  // Stats block: fraction-numeric lives at charset+1+3.
+  const size_t numeric_fraction_index = 36 + 1 + 3;
+  EXPECT_GT(numeric[numeric_fraction_index], 0.9f);
+  EXPECT_LT(textual[numeric_fraction_index], 0.1f);
+}
+
+TEST(ColumnFeaturesTest, DistinctRatioReflectsDuplicates) {
+  ColumnFeatureExtractor extractor;
+  const size_t distinct_index = 36 + 1 + 5;
+  const auto distinct = extractor.Extract({"a", "b", "c", "d"});
+  const auto duplicated = extractor.Extract({"a", "a", "a", "a"});
+  EXPECT_GT(distinct[distinct_index], duplicated[distinct_index]);
+}
+
+TEST(ColumnFeaturesTest, TableTopicIsNormalised) {
+  ColumnFeatureExtractor extractor;
+  data::Table table{"some title", {data::Column{"h", {"x", "y"}}}};
+  const auto topic = extractor.TableTopic(table, 32);
+  float total = 0.0f;
+  for (float v : topic) total += v;
+  EXPECT_NEAR(total, 1.0f, 1e-4f);
+}
+
+TEST(FeatureMlpTest, SherlockFitsAndPredicts) {
+  const data::TableCorpus corpus = TinyCorpus();
+  auto sherlock = MakeSherlock(1);
+  sherlock->Fit(corpus);
+  EXPECT_TRUE(sherlock->HasTask(core::TaskKind::kType));
+  EXPECT_TRUE(sherlock->HasTask(core::TaskKind::kRelation));
+  const auto labels = sherlock->Predict(core::TaskKind::kType, 0);
+  EXPECT_FALSE(labels.empty());
+  const eval::F1Scores f1 = EvaluateInterpreter(
+      *sherlock, corpus, core::TaskKind::kType, data::SplitPart::kTrain);
+  EXPECT_GT(f1.micro, 0.15);  // Learns something on its own training data.
+}
+
+TEST(FeatureMlpTest, SatoUsesTopicFeatures) {
+  const data::TableCorpus corpus = TinyCorpus();
+  auto sato = MakeSato(2);
+  sato->Fit(corpus);
+  EXPECT_EQ(sato->name(), "Sato");
+  EXPECT_FALSE(sato->Predict(core::TaskKind::kType, 0).empty());
+}
+
+// Shared fixture: one fitted Doduo for the transformer-baseline and
+// post-hoc tests.
+class FittedDoduoTest : public ::testing::Test {
+ protected:
+  static void SetUpTestSuite() {
+    corpus_ = new data::TableCorpus(TinyCorpus());
+    doduo_ = new Doduo(TinyConfig());
+    doduo_->Fit(*corpus_);
+  }
+  static void TearDownTestSuite() {
+    delete doduo_;
+    delete corpus_;
+    doduo_ = nullptr;
+    corpus_ = nullptr;
+  }
+  static data::TableCorpus* corpus_;
+  static Doduo* doduo_;
+};
+
+data::TableCorpus* FittedDoduoTest::corpus_ = nullptr;
+Doduo* FittedDoduoTest::doduo_ = nullptr;
+
+TEST_F(FittedDoduoTest, SupportsBothTasks) {
+  EXPECT_TRUE(doduo_->HasTask(core::TaskKind::kType));
+  EXPECT_TRUE(doduo_->HasTask(core::TaskKind::kRelation));
+}
+
+TEST_F(FittedDoduoTest, PredictionsDecodeToValidLabels) {
+  const core::TaskData& task = doduo_->task_data(core::TaskKind::kType);
+  for (int id : task.test_ids) {
+    for (int label : doduo_->Predict(core::TaskKind::kType, id)) {
+      EXPECT_GE(label, 0);
+      EXPECT_LT(label, task.num_labels);
+    }
+  }
+}
+
+TEST_F(FittedDoduoTest, SaliencyScoresCoverEveryToken) {
+  const core::TaskData& task = doduo_->task_data(core::TaskKind::kType);
+  const int id = task.test_ids[0];
+  const std::vector<float> scores =
+      doduo_->TokenSaliency(core::TaskKind::kType, id);
+  EXPECT_EQ(scores.size(),
+            task.samples[static_cast<size_t>(id)].seq.ids.size());
+  float total = 0.0f;
+  for (float s : scores) {
+    EXPECT_GE(s, 0.0f);
+    total += s;
+  }
+  EXPECT_GT(total, 0.0f);
+}
+
+TEST_F(FittedDoduoTest, SaliencyExplanationReturnsTopTokens) {
+  const auto tokens =
+      SaliencyExplanation(*doduo_, core::TaskKind::kType,
+                          doduo_->task_data(core::TaskKind::kType).test_ids[0],
+                          5);
+  EXPECT_LE(tokens.size(), 5u);
+  EXPECT_FALSE(tokens.empty());
+  for (const std::string& token : tokens) {
+    EXPECT_NE(token, "[CLS]");
+    EXPECT_NE(token, "[SEP]");
+  }
+}
+
+TEST_F(FittedDoduoTest, InfluenceFunctionsRankTrainSamples) {
+  InfluenceFunctions influence(*doduo_, core::TaskKind::kType);
+  const core::TaskData& task = doduo_->task_data(core::TaskKind::kType);
+  const auto top = influence.TopInfluential(task.test_ids[0], 3);
+  EXPECT_EQ(top.size(), 3u);
+  for (int train_id : top) {
+    EXPECT_TRUE(task.IsTrainSample(train_id));
+  }
+  EXPECT_FALSE(influence.ExplanationText(top[0]).empty());
+}
+
+TEST_F(FittedDoduoTest, InfluenceExcludesSelfForTrainQueries) {
+  InfluenceFunctions influence(*doduo_, core::TaskKind::kType);
+  const core::TaskData& task = doduo_->task_data(core::TaskKind::kType);
+  const int train_id = task.train_ids[0];
+  for (int id : influence.TopInfluential(train_id, 5)) {
+    EXPECT_NE(id, train_id);
+  }
+}
+
+TEST(TaBertTest, SerializationUsesContentSnapshot) {
+  const data::TableCorpus corpus = TinyCorpus();
+  TaBert tabert(TinyConfig());
+  tabert.Fit(corpus);
+  const core::TaskData& task = tabert.task_data(core::TaskKind::kType);
+  // TaBERT's layout has a mid-sequence [SEP] splitting target from the
+  // content snapshot (segment flips to 1).
+  const core::TaskSample& sample = task.samples[0];
+  EXPECT_EQ(sample.seq.ids.front(), text::SpecialTokens::kCls);
+  EXPECT_EQ(sample.seq.segments.back(),
+            sample.seq.ids.size() > 6 ? 1 : sample.seq.segments.back());
+  EXPECT_FALSE(tabert.Predict(core::TaskKind::kType, 0).empty());
+}
+
+TEST(TurlTest, VisibilityMaskHasThreeRegions) {
+  const data::TableCorpus corpus = TinyCorpus();
+  Turl turl(TinyConfig());
+  turl.Fit(corpus);
+  EXPECT_FALSE(turl.Predict(core::TaskKind::kType, 0).empty());
+  EXPECT_FALSE(turl.Predict(core::TaskKind::kRelation, 0).empty());
+}
+
+TEST(TcnTest, RunsWithPositionalContext) {
+  const data::TableCorpus corpus = TinyCorpus();
+  Tcn tcn(TinyConfig());
+  tcn.Fit(corpus);
+  EXPECT_FALSE(tcn.Predict(core::TaskKind::kType, 0).empty());
+  EXPECT_FALSE(tcn.Predict(core::TaskKind::kRelation, 0).empty());
+}
+
+TEST(SelfExplainTest, ProducesLocalAndGlobalExplanations) {
+  const data::TableCorpus corpus = TinyCorpus();
+  auto self_explain = MakeSelfExplain(TinyConfig());
+  self_explain->Fit(corpus);
+  const core::TaskData& task =
+      self_explain->task_data(core::TaskKind::kType);
+  const int id = task.test_ids[0];
+
+  const auto chunks =
+      self_explain->TopLocalChunks(core::TaskKind::kType, id, 3);
+  EXPECT_FALSE(chunks.empty());
+  EXPECT_LE(chunks.size(), 3u);
+
+  const auto global =
+      self_explain->TopGlobalSamples(core::TaskKind::kType, id, 3);
+  EXPECT_FALSE(global.empty());
+  for (int train_id : global) {
+    EXPECT_TRUE(task.IsTrainSample(train_id));
+  }
+}
+
+TEST(EvaluateInterpreterTest, ComputesF1OverSplit) {
+  const data::TableCorpus corpus = TinyCorpus();
+  auto sherlock = MakeSherlock(3);
+  sherlock->Fit(corpus);
+  const eval::F1Scores f1 = EvaluateInterpreter(
+      *sherlock, corpus, core::TaskKind::kType, data::SplitPart::kTest);
+  EXPECT_GE(f1.micro, 0.0);
+  EXPECT_LE(f1.micro, 1.0);
+}
+
+}  // namespace
+}  // namespace explainti::baselines

@@ -1,0 +1,136 @@
+// Cross-module integration tests: the full ExplainTI pipeline against
+// baselines on shared corpora, the FRESH sufficiency loop over real model
+// explanations, and the database-table (GitTable) path.
+
+#include <gtest/gtest.h>
+
+#include "baselines/doduo.h"
+#include "baselines/feature_mlp.h"
+#include "bench/bench_common.h"
+#include "core/explain_ti_model.h"
+#include "data/git_generator.h"
+#include "data/wiki_generator.h"
+#include "eval/sufficiency.h"
+#include "util/string_util.h"
+
+namespace explainti {
+namespace {
+
+data::TableCorpus SmallWiki() {
+  data::WikiTableOptions options;
+  options.num_tables = 80;
+  return data::GenerateWikiTableCorpus(options);
+}
+
+core::ExplainTiConfig SmallConfig() {
+  core::ExplainTiConfig config;
+  config.epochs = 5;
+  config.pretrain_epochs = 1;
+  return config;
+}
+
+TEST(IntegrationTest, ExplainTiLearnsBothWikiTasks) {
+  const data::TableCorpus corpus = SmallWiki();
+  core::ExplainTiModel model(SmallConfig(), corpus);
+  const core::FitStats stats = model.Fit();
+  EXPECT_GT(stats.best_valid_f1, 0.2f);
+  EXPECT_GE(stats.best_epoch, 0);
+  EXPECT_GT(stats.pretrain_seconds, 0.0);
+
+  const eval::F1Scores rel =
+      model.Evaluate(core::TaskKind::kRelation, data::SplitPart::kTest);
+  EXPECT_GT(rel.micro, 0.4) << "relation task should be learnable";
+}
+
+TEST(IntegrationTest, GitCorpusTypeOnlyPipeline) {
+  data::GitTableOptions options;
+  options.num_tables = 50;
+  options.min_rows = 10;
+  options.max_rows = 30;
+  const data::TableCorpus corpus = data::GenerateGitTableCorpus(options);
+
+  core::ExplainTiConfig config = SmallConfig();
+  config.epochs = 8;
+  core::ExplainTiModel model(config, corpus);
+  model.Fit();
+  EXPECT_TRUE(model.HasTask(core::TaskKind::kType));
+  EXPECT_FALSE(model.HasTask(core::TaskKind::kRelation));
+
+  const eval::F1Scores f1 =
+      model.Evaluate(core::TaskKind::kType, data::SplitPart::kTest);
+  EXPECT_GT(f1.micro, 0.4) << "headers are highly indicative on GitTable";
+
+  const core::Explanation z = model.Explain(
+      core::TaskKind::kType, model.task_data(core::TaskKind::kType).test_ids[0]);
+  EXPECT_FALSE(z.local.empty());
+  EXPECT_FALSE(z.global.empty());
+}
+
+TEST(IntegrationTest, ExplanationSufficiencyLoopRuns) {
+  const data::TableCorpus corpus = SmallWiki();
+  core::ExplainTiModel model(SmallConfig(), corpus);
+  model.Fit();
+  const core::TaskData& task = model.task_data(core::TaskKind::kType);
+
+  const eval::ExplanationDataset dataset = bench::BuildExplanationDataset(
+      task, [&](int id) {
+        const core::Explanation z = model.Explain(core::TaskKind::kType, id);
+        return z.global.empty() ? std::string() : z.global[0].text;
+      });
+  ASSERT_EQ(dataset.train_texts.size(), task.train_ids.size());
+  const eval::F1Scores f1 = eval::EvaluateSufficiency(dataset);
+  // GE retrieves label-aligned neighbours once fine-tuned: well above
+  // chance on 30 labels.
+  EXPECT_GT(f1.micro, 0.25);
+}
+
+TEST(IntegrationTest, FeatureBaselineAndTransformerAgreeOnTaskShape) {
+  const data::TableCorpus corpus = SmallWiki();
+  auto sherlock = baselines::MakeSherlock(5);
+  sherlock->Fit(corpus);
+
+  baselines::TransformerBaselineConfig config;
+  config.epochs = 6;
+  config.pretrain_epochs = 1;
+  baselines::Doduo doduo(config);
+  doduo.Fit(corpus);
+
+  const eval::F1Scores sherlock_f1 = baselines::EvaluateInterpreter(
+      *sherlock, corpus, core::TaskKind::kType, data::SplitPart::kTest);
+  const eval::F1Scores doduo_f1 = baselines::EvaluateInterpreter(
+      doduo, corpus, core::TaskKind::kType, data::SplitPart::kTest);
+  // The paper's headline ordering at any scale: value-only features lose
+  // to the serialised-transformer approach.
+  EXPECT_GT(doduo_f1.micro + 0.10, sherlock_f1.micro);
+}
+
+TEST(IntegrationTest, StructuralModuleDoesNotHurtTypePrediction) {
+  // Table III's ablation shape: on Web tables, SE helps type prediction
+  // (or at minimum does not hurt it). At this reduced test scale we
+  // assert the tolerant direction; the bench reproduces the full margin.
+  data::WikiTableOptions options;
+  options.num_tables = 120;
+  const data::TableCorpus corpus = data::GenerateWikiTableCorpus(options);
+
+  core::ExplainTiConfig with_se = SmallConfig();
+  with_se.epochs = 8;
+  core::ExplainTiConfig without_se = with_se;
+  without_se.use_structural = false;
+
+  core::ExplainTiModel model_with(with_se, corpus);
+  model_with.Fit();
+  core::ExplainTiModel model_without(without_se, corpus);
+  model_without.Fit();
+
+  const double f1_with =
+      model_with.Evaluate(core::TaskKind::kType, data::SplitPart::kTest)
+          .weighted;
+  const double f1_without =
+      model_without.Evaluate(core::TaskKind::kType, data::SplitPart::kTest)
+          .weighted;
+  EXPECT_GT(f1_with + 0.08, f1_without)
+      << "SE should not materially hurt type prediction";
+}
+
+}  // namespace
+}  // namespace explainti

@@ -1,0 +1,181 @@
+// CSV parsing/loading and model-weight persistence.
+
+#include <cstdio>
+
+#include <gtest/gtest.h>
+
+#include "core/explain_ti_model.h"
+#include "data/csv_loader.h"
+#include "data/wiki_generator.h"
+#include "util/csv.h"
+
+namespace explainti {
+namespace {
+
+TEST(CsvTest, ParsesSimpleRows) {
+  auto rows = util::ParseCsv("a,b,c\n1,2,3\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[0], (std::vector<std::string>{"a", "b", "c"}));
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"1", "2", "3"}));
+}
+
+TEST(CsvTest, HandlesQuotedFieldsAndEscapes) {
+  auto rows = util::ParseCsv("\"a,b\",\"say \"\"hi\"\"\",plain\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "a,b");
+  EXPECT_EQ((*rows)[0][1], "say \"hi\"");
+  EXPECT_EQ((*rows)[0][2], "plain");
+}
+
+TEST(CsvTest, QuotedNewlineStaysInField) {
+  auto rows = util::ParseCsv("\"line1\nline2\",x\n");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 1u);
+  EXPECT_EQ((*rows)[0][0], "line1\nline2");
+}
+
+TEST(CsvTest, ToleratesCrlfAndMissingFinalNewline) {
+  auto rows = util::ParseCsv("a,b\r\nc,d");
+  ASSERT_TRUE(rows.ok());
+  ASSERT_EQ(rows->size(), 2u);
+  EXPECT_EQ((*rows)[1], (std::vector<std::string>{"c", "d"}));
+}
+
+TEST(CsvTest, EmptyFieldsPreserved) {
+  auto rows = util::ParseCsv("a,,c\n,,\n");
+  ASSERT_TRUE(rows.ok());
+  EXPECT_EQ((*rows)[0].size(), 3u);
+  EXPECT_EQ((*rows)[1].size(), 3u);
+  EXPECT_EQ((*rows)[0][1], "");
+}
+
+TEST(CsvTest, RejectsUnterminatedQuote) {
+  EXPECT_FALSE(util::ParseCsv("\"oops\n").ok());
+}
+
+TEST(CsvTest, WriteRoundTrips) {
+  const std::vector<std::vector<std::string>> rows = {
+      {"plain", "needs,quote", "has \"quotes\""},
+      {"second", "line\nbreak", ""}};
+  auto parsed = util::ParseCsv(util::WriteCsv(rows));
+  ASSERT_TRUE(parsed.ok());
+  EXPECT_EQ(*parsed, rows);
+}
+
+TEST(CsvLoaderTest, BuildsTableWithHeaders) {
+  auto table = data::TableFromCsvRows(
+      {{"Player", "Team"}, {"james smith", "lakers"}, {"mary jones", "bulls"}},
+      data::CsvLoadOptions{true, "1990 nba draft", 0});
+  ASSERT_TRUE(table.ok());
+  ASSERT_EQ(table->columns.size(), 2u);
+  EXPECT_EQ(table->columns[0].header, "player");
+  EXPECT_EQ(table->num_rows(), 2);
+  EXPECT_EQ(table->columns[1].cells[0], "lakers");
+  EXPECT_EQ(table->title, "1990 nba draft");
+}
+
+TEST(CsvLoaderTest, PadsRaggedRows) {
+  auto table = data::TableFromCsvRows(
+      {{"a", "b", "c"}, {"1"}, {"1", "2", "3", "4"}},
+      data::CsvLoadOptions{true, "t", 0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->columns[2].cells[0], "");
+  EXPECT_EQ(table->num_rows(), 2);
+}
+
+TEST(CsvLoaderTest, SyntheticHeadersWithoutHeaderRow) {
+  auto table = data::TableFromCsvRows({{"1", "2"}},
+                                      data::CsvLoadOptions{false, "t", 0});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->columns[0].header, "column_0");
+  EXPECT_EQ(table->num_rows(), 1);
+}
+
+TEST(CsvLoaderTest, MaxRowsCapsLoading) {
+  std::vector<std::vector<std::string>> rows = {{"h"}};
+  for (int i = 0; i < 10; ++i) rows.push_back({std::to_string(i)});
+  auto table =
+      data::TableFromCsvRows(rows, data::CsvLoadOptions{true, "t", 4});
+  ASSERT_TRUE(table.ok());
+  EXPECT_EQ(table->num_rows(), 4);
+}
+
+TEST(CsvLoaderTest, RejectsEmptyInput) {
+  EXPECT_FALSE(data::TableFromCsvRows({}, {}).ok());
+  EXPECT_FALSE(
+      data::TableFromCsvRows({{"only", "headers"}}, {}).ok());
+}
+
+TEST(CsvLoaderTest, MissingFileIsIoError) {
+  auto table = data::LoadTableFromCsv("/nonexistent/file.csv");
+  ASSERT_FALSE(table.ok());
+  EXPECT_EQ(table.status().code(), util::StatusCode::kIoError);
+}
+
+TEST(WeightsIoTest, SaveLoadRoundTripPreservesPredictions) {
+  data::WikiTableOptions options;
+  options.num_tables = 30;
+  const data::TableCorpus corpus = data::GenerateWikiTableCorpus(options);
+
+  core::ExplainTiConfig config;
+  config.epochs = 1;
+  config.pretrain_epochs = 1;
+  core::ExplainTiModel trained(config, corpus);
+  trained.Fit();
+
+  const std::string path = "/tmp/explainti_weights_test.bin";
+  ASSERT_TRUE(trained.SaveWeights(path).ok());
+
+  // A fresh, untrained model with the same architecture.
+  core::ExplainTiModel restored(config, corpus);
+  ASSERT_TRUE(restored.LoadWeights(path).ok());
+
+  const auto& task = trained.task_data(core::TaskKind::kType);
+  for (size_t i = 0; i < task.test_ids.size() && i < 10; ++i) {
+    const int id = task.test_ids[i];
+    EXPECT_EQ(trained.PredictProbabilities(core::TaskKind::kType, id),
+              restored.PredictProbabilities(core::TaskKind::kType, id));
+  }
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, LoadRejectsWrongArchitecture) {
+  data::WikiTableOptions options;
+  options.num_tables = 30;
+  const data::TableCorpus corpus = data::GenerateWikiTableCorpus(options);
+
+  core::ExplainTiConfig config;
+  config.epochs = 1;
+  config.pretrain_epochs = 1;
+  core::ExplainTiModel model(config, corpus);
+
+  const std::string path = "/tmp/explainti_weights_bad.bin";
+  ASSERT_TRUE(model.SaveWeights(path).ok());
+
+  core::ExplainTiConfig other = config;
+  other.max_seq_len = 24;  // Smaller position table -> shape mismatch.
+  core::ExplainTiModel mismatched(other, corpus);
+  EXPECT_FALSE(mismatched.LoadWeights(path).ok());
+  std::remove(path.c_str());
+}
+
+TEST(WeightsIoTest, LoadRejectsGarbageFile) {
+  const std::string path = "/tmp/explainti_weights_garbage.bin";
+  FILE* f = fopen(path.c_str(), "wb");
+  fputs("not a weights file at all", f);
+  fclose(f);
+
+  data::WikiTableOptions options;
+  options.num_tables = 30;
+  const data::TableCorpus corpus = data::GenerateWikiTableCorpus(options);
+  core::ExplainTiConfig config;
+  config.epochs = 1;
+  core::ExplainTiModel model(config, corpus);
+  EXPECT_FALSE(model.LoadWeights(path).ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace explainti

@@ -1,0 +1,271 @@
+// Property-style sweeps across randomly generated inputs: invariants that
+// must hold for any corpus, any vocabulary, and any query — parameterized
+// over seeds and sizes with TEST_P.
+
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include <gtest/gtest.h>
+
+#include "ann/flat_index.h"
+#include "ann/hnsw_index.h"
+#include "data/git_generator.h"
+#include "data/wiki_generator.h"
+#include "eval/f1_metrics.h"
+#include "text/serializer.h"
+#include "text/tokenizer.h"
+#include "util/rng.h"
+
+namespace explainti {
+namespace {
+
+// ---------------------------------------------------------------------------
+// Serialisation invariants over whole generated corpora.
+// ---------------------------------------------------------------------------
+
+struct CorpusCase {
+  std::string name;
+  uint64_t seed;
+  bool git;
+  int max_len;
+};
+
+class SerializationPropertyTest
+    : public ::testing::TestWithParam<CorpusCase> {};
+
+TEST_P(SerializationPropertyTest, EverySampleIsWellFormed) {
+  const CorpusCase param = GetParam();
+  data::TableCorpus corpus;
+  if (param.git) {
+    data::GitTableOptions options;
+    options.num_tables = 25;
+    options.min_rows = 5;
+    options.max_rows = 15;
+    options.seed = param.seed;
+    corpus = data::GenerateGitTableCorpus(options);
+  } else {
+    data::WikiTableOptions options;
+    options.num_tables = 40;
+    options.seed = param.seed;
+    corpus = data::GenerateWikiTableCorpus(options);
+  }
+
+  // Vocabulary over the whole corpus.
+  std::unordered_map<std::string, int64_t> counts;
+  for (const data::Table& table : corpus.tables) {
+    for (const std::string& t : text::BasicTokenize(table.title)) ++counts[t];
+    for (const data::Column& column : table.columns) {
+      for (const std::string& t : text::BasicTokenize(column.header)) {
+        ++counts[t];
+      }
+      for (const std::string& cell : column.cells) {
+        for (const std::string& t : text::BasicTokenize(cell)) ++counts[t];
+      }
+    }
+  }
+  auto vocab = std::make_shared<text::Vocab>(text::BuildVocab(counts, 6000));
+  text::WordPieceTokenizer tokenizer(vocab);
+  text::SequenceSerializer serializer(&tokenizer, param.max_len);
+
+  for (const data::TypeSample& sample : corpus.type_samples) {
+    const text::EncodedSequence seq =
+        serializer.SerializeColumn(corpus.ColumnTextOf(sample));
+    ASSERT_GE(seq.ids.size(), 3u);
+    ASSERT_LE(seq.ids.size(), static_cast<size_t>(param.max_len));
+    EXPECT_EQ(seq.ids.front(), text::SpecialTokens::kCls);
+    EXPECT_EQ(seq.ids.back(), text::SpecialTokens::kSep);
+    ASSERT_EQ(seq.ids.size(), seq.segments.size());
+    ASSERT_EQ(seq.ids.size(), seq.tokens.size());
+    for (int id : seq.ids) {
+      ASSERT_GE(id, 0);
+      ASSERT_LT(id, vocab->size());
+    }
+  }
+  for (const data::RelationSample& sample : corpus.relation_samples) {
+    const text::EncodedSequence seq = serializer.SerializePair(
+        corpus.ColumnTextOf(sample.table_index, sample.left_column),
+        corpus.ColumnTextOf(sample.table_index, sample.right_column));
+    ASSERT_LE(seq.ids.size(), static_cast<size_t>(param.max_len));
+    ASSERT_GT(seq.sep_pos, 0);
+    ASSERT_LT(seq.sep_pos, static_cast<int>(seq.ids.size()) - 1);
+    // Both sides non-empty.
+    EXPECT_GT(seq.sep_pos, 1);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Corpora, SerializationPropertyTest,
+    ::testing::Values(CorpusCase{"wiki_a", 3, false, 40},
+                      CorpusCase{"wiki_b", 17, false, 24},
+                      CorpusCase{"wiki_c", 91, false, 64},
+                      CorpusCase{"git_a", 5, true, 40},
+                      CorpusCase{"git_b", 23, true, 32}),
+    [](const ::testing::TestParamInfo<CorpusCase>& info) {
+      return info.param.name;
+    });
+
+// ---------------------------------------------------------------------------
+// Tokenizer round-trip property: detokenised subwords rebuild the word.
+// ---------------------------------------------------------------------------
+
+class TokenizerPropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(TokenizerPropertyTest, SubwordsReassembleToOriginalWord) {
+  data::WikiTableOptions options;
+  options.num_tables = 20;
+  options.seed = GetParam();
+  const data::TableCorpus corpus = data::GenerateWikiTableCorpus(options);
+
+  std::unordered_map<std::string, int64_t> counts;
+  std::vector<std::string> words;
+  for (const data::Table& table : corpus.tables) {
+    for (const data::Column& column : table.columns) {
+      for (const std::string& cell : column.cells) {
+        for (const std::string& t : text::BasicTokenize(cell)) {
+          ++counts[t];
+          words.push_back(t);
+        }
+      }
+    }
+  }
+  // Deliberately small vocabulary to force subword decomposition.
+  auto vocab = std::make_shared<text::Vocab>(
+      text::BuildVocab(counts, /*max_size=*/300, /*min_count=*/3));
+  text::ByteFallbackTokenizer tokenizer(vocab);
+
+  for (size_t i = 0; i < words.size(); i += 7) {
+    const std::string& word = words[i];
+    std::string rebuilt;
+    for (const std::string& piece : tokenizer.Tokenize(word)) {
+      ASSERT_NE(piece, "[UNK]") << "byte fallback must never emit UNK";
+      rebuilt += piece.size() > 2 && piece[0] == '#' && piece[1] == '#'
+                     ? piece.substr(2)
+                     : piece;
+    }
+    EXPECT_EQ(rebuilt, word);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, TokenizerPropertyTest,
+                         ::testing::Values(1, 22, 333));
+
+// ---------------------------------------------------------------------------
+// ANN properties: result validity for any query, any index size.
+// ---------------------------------------------------------------------------
+
+class AnnPropertyTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(AnnPropertyTest, ResultsAreValidUniqueAndOrdered) {
+  const int n = GetParam();
+  ann::HnswIndex index;
+  util::Rng rng(static_cast<uint64_t>(n));
+  for (int i = 0; i < n; ++i) {
+    std::vector<float> v(12);
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+    index.Add(i * 3, v);  // Non-dense external ids.
+  }
+  for (int q = 0; q < 10; ++q) {
+    std::vector<float> query(12);
+    for (float& x : query) x = static_cast<float>(rng.Normal());
+    const auto hits = index.Search(query, 7);
+    EXPECT_LE(hits.size(), std::min<size_t>(7, static_cast<size_t>(n)));
+    std::set<int64_t> seen;
+    for (size_t i = 0; i < hits.size(); ++i) {
+      EXPECT_EQ(hits[i].id % 3, 0) << "unknown external id";
+      EXPECT_TRUE(seen.insert(hits[i].id).second) << "duplicate result";
+      if (i > 0) EXPECT_GE(hits[i - 1].similarity, hits[i].similarity);
+      EXPECT_GE(hits[i].similarity, -1.0f - 1e-5f);
+      EXPECT_LE(hits[i].similarity, 1.0f + 1e-5f);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Sizes, AnnPropertyTest,
+                         ::testing::Values(1, 3, 17, 128, 700));
+
+// ---------------------------------------------------------------------------
+// F1 against a brute-force reference on random prediction sets.
+// ---------------------------------------------------------------------------
+
+eval::F1Scores ReferenceF1(
+    const std::vector<eval::LabeledPrediction>& predictions, int num_labels) {
+  // Direct per-label precision/recall computation, written independently
+  // of the production implementation.
+  eval::F1Scores out;
+  double tp_all = 0;
+  double fp_all = 0;
+  double fn_all = 0;
+  double macro = 0;
+  double weighted = 0;
+  double support_total = 0;
+  for (int label = 0; label < num_labels; ++label) {
+    double tp = 0;
+    double fp = 0;
+    double fn = 0;
+    for (const auto& p : predictions) {
+      const bool in_gold =
+          std::find(p.gold.begin(), p.gold.end(), label) != p.gold.end();
+      const bool in_pred =
+          std::find(p.predicted.begin(), p.predicted.end(), label) !=
+          p.predicted.end();
+      tp += in_gold && in_pred;
+      fp += !in_gold && in_pred;
+      fn += in_gold && !in_pred;
+    }
+    const double precision = tp + fp > 0 ? tp / (tp + fp) : 0;
+    const double recall = tp + fn > 0 ? tp / (tp + fn) : 0;
+    const double f1 = precision + recall > 0
+                          ? 2 * precision * recall / (precision + recall)
+                          : 0;
+    macro += f1;
+    weighted += f1 * (tp + fn);
+    support_total += tp + fn;
+    tp_all += tp;
+    fp_all += fp;
+    fn_all += fn;
+  }
+  const double micro_p = tp_all + fp_all > 0 ? tp_all / (tp_all + fp_all) : 0;
+  const double micro_r = tp_all + fn_all > 0 ? tp_all / (tp_all + fn_all) : 0;
+  out.micro = micro_p + micro_r > 0
+                  ? 2 * micro_p * micro_r / (micro_p + micro_r)
+                  : 0;
+  out.macro = macro / num_labels;
+  out.weighted = support_total > 0 ? weighted / support_total : 0;
+  return out;
+}
+
+class F1PropertyTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(F1PropertyTest, MatchesBruteForceReference) {
+  util::Rng rng(GetParam());
+  constexpr int kLabels = 8;
+  std::vector<eval::LabeledPrediction> predictions;
+  for (int i = 0; i < 60; ++i) {
+    eval::LabeledPrediction p;
+    const int gold_count = 1 + static_cast<int>(rng.UniformInt(2));
+    const int pred_count = static_cast<int>(rng.UniformInt(3));
+    std::set<int> gold;
+    while (static_cast<int>(gold.size()) < gold_count) {
+      gold.insert(static_cast<int>(rng.UniformInt(kLabels)));
+    }
+    std::set<int> pred;
+    while (static_cast<int>(pred.size()) < pred_count) {
+      pred.insert(static_cast<int>(rng.UniformInt(kLabels)));
+    }
+    p.gold.assign(gold.begin(), gold.end());
+    p.predicted.assign(pred.begin(), pred.end());
+    predictions.push_back(std::move(p));
+  }
+  const eval::F1Scores actual = eval::ComputeF1(predictions, kLabels);
+  const eval::F1Scores expected = ReferenceF1(predictions, kLabels);
+  EXPECT_NEAR(actual.micro, expected.micro, 1e-9);
+  EXPECT_NEAR(actual.macro, expected.macro, 1e-9);
+  EXPECT_NEAR(actual.weighted, expected.weighted, 1e-9);
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, F1PropertyTest,
+                         ::testing::Values(11, 222, 3333, 44444));
+
+}  // namespace
+}  // namespace explainti

@@ -1,0 +1,184 @@
+#include <algorithm>
+#include <set>
+#include <sstream>
+
+#include <gtest/gtest.h>
+
+#include "util/rng.h"
+#include "util/status.h"
+#include "util/string_util.h"
+#include "util/table_printer.h"
+#include "util/timer.h"
+
+namespace explainti::util {
+namespace {
+
+TEST(StatusTest, OkByDefault) {
+  Status s;
+  EXPECT_TRUE(s.ok());
+  EXPECT_EQ(s.ToString(), "OK");
+}
+
+TEST(StatusTest, ErrorCarriesCodeAndMessage) {
+  Status s = Status::InvalidArgument("bad k");
+  EXPECT_FALSE(s.ok());
+  EXPECT_EQ(s.code(), StatusCode::kInvalidArgument);
+  EXPECT_EQ(s.ToString(), "InvalidArgument: bad k");
+}
+
+TEST(StatusTest, StatusOrValuePath) {
+  StatusOr<int> result = 42;
+  ASSERT_TRUE(result.ok());
+  EXPECT_EQ(*result, 42);
+}
+
+TEST(StatusTest, StatusOrErrorPath) {
+  StatusOr<int> result = Status::NotFound("missing");
+  EXPECT_FALSE(result.ok());
+  EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(RngTest, DeterministicPerSeed) {
+  Rng a(7);
+  Rng b(7);
+  for (int i = 0; i < 100; ++i) EXPECT_EQ(a.Next(), b.Next());
+}
+
+TEST(RngTest, DifferentSeedsDiffer) {
+  Rng a(7);
+  Rng b(8);
+  int differing = 0;
+  for (int i = 0; i < 16; ++i) differing += a.Next() != b.Next();
+  EXPECT_GT(differing, 0);
+}
+
+TEST(RngTest, UniformInUnitInterval) {
+  Rng rng(1);
+  for (int i = 0; i < 1000; ++i) {
+    const double u = rng.Uniform();
+    EXPECT_GE(u, 0.0);
+    EXPECT_LT(u, 1.0);
+  }
+}
+
+TEST(RngTest, UniformIntRespectsBounds) {
+  Rng rng(2);
+  for (int i = 0; i < 1000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 5);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 5);
+  }
+}
+
+TEST(RngTest, UniformIntCoversRange) {
+  Rng rng(3);
+  std::set<uint64_t> seen;
+  for (int i = 0; i < 500; ++i) seen.insert(rng.UniformInt(5));
+  EXPECT_EQ(seen.size(), 5u);
+}
+
+TEST(RngTest, NormalHasRoughlyUnitVariance) {
+  Rng rng(4);
+  double sum = 0.0;
+  double sum_sq = 0.0;
+  constexpr int kN = 20000;
+  for (int i = 0; i < kN; ++i) {
+    const double x = rng.Normal();
+    sum += x;
+    sum_sq += x * x;
+  }
+  EXPECT_NEAR(sum / kN, 0.0, 0.05);
+  EXPECT_NEAR(sum_sq / kN, 1.0, 0.05);
+}
+
+TEST(RngTest, ShuffleIsPermutation) {
+  Rng rng(5);
+  std::vector<int> v = {1, 2, 3, 4, 5, 6, 7};
+  std::vector<int> shuffled = v;
+  rng.Shuffle(shuffled);
+  std::sort(shuffled.begin(), shuffled.end());
+  EXPECT_EQ(shuffled, v);
+}
+
+TEST(RngTest, CategoricalFollowsWeights) {
+  Rng rng(6);
+  int counts[2] = {0, 0};
+  for (int i = 0; i < 10000; ++i) {
+    ++counts[rng.Categorical({1.0, 3.0})];
+  }
+  EXPECT_NEAR(static_cast<double>(counts[1]) / 10000.0, 0.75, 0.03);
+}
+
+TEST(RngTest, SampleWithoutReplacementIsDistinct) {
+  Rng rng(7);
+  const std::vector<size_t> sample = rng.SampleWithoutReplacement(10, 6);
+  EXPECT_EQ(sample.size(), 6u);
+  std::set<size_t> unique(sample.begin(), sample.end());
+  EXPECT_EQ(unique.size(), 6u);
+  for (size_t s : sample) EXPECT_LT(s, 10u);
+}
+
+TEST(StringUtilTest, SplitKeepsEmptyFields) {
+  EXPECT_EQ(Split("a,,b", ','),
+            (std::vector<std::string>{"a", "", "b"}));
+}
+
+TEST(StringUtilTest, SplitWhitespaceDropsEmpty) {
+  EXPECT_EQ(SplitWhitespace("  a \t b\nc "),
+            (std::vector<std::string>{"a", "b", "c"}));
+}
+
+TEST(StringUtilTest, JoinWithSeparator) {
+  EXPECT_EQ(Join({"x", "y"}, ", "), "x, y");
+  EXPECT_EQ(Join({}, ","), "");
+}
+
+TEST(StringUtilTest, ToLowerAscii) { EXPECT_EQ(ToLower("AbC1"), "abc1"); }
+
+TEST(StringUtilTest, TrimBothEnds) { EXPECT_EQ(Trim("  hi \n"), "hi"); }
+
+TEST(StringUtilTest, StartsEndsWith) {
+  EXPECT_TRUE(StartsWith("##sub", "##"));
+  EXPECT_FALSE(StartsWith("#sub", "##"));
+  EXPECT_TRUE(EndsWith("table.csv", ".csv"));
+}
+
+TEST(StringUtilTest, IsAllDigits) {
+  EXPECT_TRUE(IsAllDigits("12345"));
+  EXPECT_FALSE(IsAllDigits("12a"));
+  EXPECT_FALSE(IsAllDigits(""));
+}
+
+TEST(StringUtilTest, FormatDoublePrecision) {
+  EXPECT_EQ(FormatDouble(0.94449, 3), "0.944");
+  EXPECT_EQ(FormatDouble(1.0, 1), "1.0");
+}
+
+TEST(TablePrinterTest, AlignsColumnsAndPads) {
+  TablePrinter printer({"a", "long header"});
+  printer.AddRow({"xxxx", "y"});
+  std::ostringstream os;
+  printer.Print(os);
+  const std::string out = os.str();
+  EXPECT_NE(out.find("| a    | long header |"), std::string::npos);
+  EXPECT_NE(out.find("| xxxx | y           |"), std::string::npos);
+}
+
+TEST(TablePrinterTest, MissingCellsRenderEmpty) {
+  TablePrinter printer({"a", "b"});
+  printer.AddRow({"only"});
+  std::ostringstream os;
+  printer.Print(os);
+  EXPECT_NE(os.str().find("| only |"), std::string::npos);
+}
+
+TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotonic) {
+  WallTimer timer;
+  const double t1 = timer.ElapsedSeconds();
+  const double t2 = timer.ElapsedSeconds();
+  EXPECT_GE(t1, 0.0);
+  EXPECT_GE(t2, t1);
+}
+
+}  // namespace
+}  // namespace explainti::util
