@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_online_simulation.dir/bench_online_simulation.cc.o"
+  "CMakeFiles/bench_online_simulation.dir/bench_online_simulation.cc.o.d"
+  "bench_online_simulation"
+  "bench_online_simulation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_online_simulation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

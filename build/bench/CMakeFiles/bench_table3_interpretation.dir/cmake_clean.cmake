@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table3_interpretation.dir/bench_table3_interpretation.cc.o"
+  "CMakeFiles/bench_table3_interpretation.dir/bench_table3_interpretation.cc.o.d"
+  "bench_table3_interpretation"
+  "bench_table3_interpretation.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table3_interpretation.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/bench_table4_sufficiency.dir/bench_table4_sufficiency.cc.o"
+  "CMakeFiles/bench_table4_sufficiency.dir/bench_table4_sufficiency.cc.o.d"
+  "bench_table4_sufficiency"
+  "bench_table4_sufficiency.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/bench_table4_sufficiency.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

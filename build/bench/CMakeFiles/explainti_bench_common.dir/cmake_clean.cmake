@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_bench_common.dir/bench_common.cc.o"
+  "CMakeFiles/explainti_bench_common.dir/bench_common.cc.o.d"
+  "libexplainti_bench_common.a"
+  "libexplainti_bench_common.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_bench_common.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explanation_dashboard.dir/explanation_dashboard.cpp.o"
+  "CMakeFiles/explanation_dashboard.dir/explanation_dashboard.cpp.o.d"
+  "explanation_dashboard"
+  "explanation_dashboard.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explanation_dashboard.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

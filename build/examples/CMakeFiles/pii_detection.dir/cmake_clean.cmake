@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/pii_detection.dir/pii_detection.cpp.o"
+  "CMakeFiles/pii_detection.dir/pii_detection.cpp.o.d"
+  "pii_detection"
+  "pii_detection.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/pii_detection.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

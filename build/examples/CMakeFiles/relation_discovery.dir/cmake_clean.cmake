@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/relation_discovery.dir/relation_discovery.cpp.o"
+  "CMakeFiles/relation_discovery.dir/relation_discovery.cpp.o.d"
+  "relation_discovery"
+  "relation_discovery.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/relation_discovery.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/ann/flat_index.cc" "src/ann/CMakeFiles/explainti_ann.dir/flat_index.cc.o" "gcc" "src/ann/CMakeFiles/explainti_ann.dir/flat_index.cc.o.d"
+  "/root/repo/src/ann/hnsw_index.cc" "src/ann/CMakeFiles/explainti_ann.dir/hnsw_index.cc.o" "gcc" "src/ann/CMakeFiles/explainti_ann.dir/hnsw_index.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/util/CMakeFiles/explainti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,13 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_ann.dir/flat_index.cc.o"
+  "CMakeFiles/explainti_ann.dir/flat_index.cc.o.d"
+  "CMakeFiles/explainti_ann.dir/hnsw_index.cc.o"
+  "CMakeFiles/explainti_ann.dir/hnsw_index.cc.o.d"
+  "libexplainti_ann.a"
+  "libexplainti_ann.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_ann.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,37 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/baselines/column_features.cc" "src/baselines/CMakeFiles/explainti_baselines.dir/column_features.cc.o" "gcc" "src/baselines/CMakeFiles/explainti_baselines.dir/column_features.cc.o.d"
+  "/root/repo/src/baselines/doduo.cc" "src/baselines/CMakeFiles/explainti_baselines.dir/doduo.cc.o" "gcc" "src/baselines/CMakeFiles/explainti_baselines.dir/doduo.cc.o.d"
+  "/root/repo/src/baselines/feature_mlp.cc" "src/baselines/CMakeFiles/explainti_baselines.dir/feature_mlp.cc.o" "gcc" "src/baselines/CMakeFiles/explainti_baselines.dir/feature_mlp.cc.o.d"
+  "/root/repo/src/baselines/posthoc.cc" "src/baselines/CMakeFiles/explainti_baselines.dir/posthoc.cc.o" "gcc" "src/baselines/CMakeFiles/explainti_baselines.dir/posthoc.cc.o.d"
+  "/root/repo/src/baselines/self_explain.cc" "src/baselines/CMakeFiles/explainti_baselines.dir/self_explain.cc.o" "gcc" "src/baselines/CMakeFiles/explainti_baselines.dir/self_explain.cc.o.d"
+  "/root/repo/src/baselines/tabert.cc" "src/baselines/CMakeFiles/explainti_baselines.dir/tabert.cc.o" "gcc" "src/baselines/CMakeFiles/explainti_baselines.dir/tabert.cc.o.d"
+  "/root/repo/src/baselines/table_interpreter.cc" "src/baselines/CMakeFiles/explainti_baselines.dir/table_interpreter.cc.o" "gcc" "src/baselines/CMakeFiles/explainti_baselines.dir/table_interpreter.cc.o.d"
+  "/root/repo/src/baselines/tcn.cc" "src/baselines/CMakeFiles/explainti_baselines.dir/tcn.cc.o" "gcc" "src/baselines/CMakeFiles/explainti_baselines.dir/tcn.cc.o.d"
+  "/root/repo/src/baselines/transformer_baseline.cc" "src/baselines/CMakeFiles/explainti_baselines.dir/transformer_baseline.cc.o" "gcc" "src/baselines/CMakeFiles/explainti_baselines.dir/transformer_baseline.cc.o.d"
+  "/root/repo/src/baselines/turl.cc" "src/baselines/CMakeFiles/explainti_baselines.dir/turl.cc.o" "gcc" "src/baselines/CMakeFiles/explainti_baselines.dir/turl.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ann/CMakeFiles/explainti_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/explainti_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/explainti_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/explainti_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/explainti_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/explainti_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/explainti_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/explainti_util.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/explainti_graph.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

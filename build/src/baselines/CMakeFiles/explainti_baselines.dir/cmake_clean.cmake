@@ -1,0 +1,29 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_baselines.dir/column_features.cc.o"
+  "CMakeFiles/explainti_baselines.dir/column_features.cc.o.d"
+  "CMakeFiles/explainti_baselines.dir/doduo.cc.o"
+  "CMakeFiles/explainti_baselines.dir/doduo.cc.o.d"
+  "CMakeFiles/explainti_baselines.dir/feature_mlp.cc.o"
+  "CMakeFiles/explainti_baselines.dir/feature_mlp.cc.o.d"
+  "CMakeFiles/explainti_baselines.dir/posthoc.cc.o"
+  "CMakeFiles/explainti_baselines.dir/posthoc.cc.o.d"
+  "CMakeFiles/explainti_baselines.dir/self_explain.cc.o"
+  "CMakeFiles/explainti_baselines.dir/self_explain.cc.o.d"
+  "CMakeFiles/explainti_baselines.dir/tabert.cc.o"
+  "CMakeFiles/explainti_baselines.dir/tabert.cc.o.d"
+  "CMakeFiles/explainti_baselines.dir/table_interpreter.cc.o"
+  "CMakeFiles/explainti_baselines.dir/table_interpreter.cc.o.d"
+  "CMakeFiles/explainti_baselines.dir/tcn.cc.o"
+  "CMakeFiles/explainti_baselines.dir/tcn.cc.o.d"
+  "CMakeFiles/explainti_baselines.dir/transformer_baseline.cc.o"
+  "CMakeFiles/explainti_baselines.dir/transformer_baseline.cc.o.d"
+  "CMakeFiles/explainti_baselines.dir/turl.cc.o"
+  "CMakeFiles/explainti_baselines.dir/turl.cc.o.d"
+  "libexplainti_baselines.a"
+  "libexplainti_baselines.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_baselines.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,3 @@
+file(REMOVE_RECURSE
+  "libexplainti_baselines.a"
+)

@@ -1,0 +1,29 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/core/embedding_store.cc" "src/core/CMakeFiles/explainti_core.dir/embedding_store.cc.o" "gcc" "src/core/CMakeFiles/explainti_core.dir/embedding_store.cc.o.d"
+  "/root/repo/src/core/explain_ti_model.cc" "src/core/CMakeFiles/explainti_core.dir/explain_ti_model.cc.o" "gcc" "src/core/CMakeFiles/explainti_core.dir/explain_ti_model.cc.o.d"
+  "/root/repo/src/core/task_data.cc" "src/core/CMakeFiles/explainti_core.dir/task_data.cc.o" "gcc" "src/core/CMakeFiles/explainti_core.dir/task_data.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/ann/CMakeFiles/explainti_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/explainti_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/explainti_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/explainti_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/explainti_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/explainti_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/explainti_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/explainti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_core.dir/embedding_store.cc.o"
+  "CMakeFiles/explainti_core.dir/embedding_store.cc.o.d"
+  "CMakeFiles/explainti_core.dir/explain_ti_model.cc.o"
+  "CMakeFiles/explainti_core.dir/explain_ti_model.cc.o.d"
+  "CMakeFiles/explainti_core.dir/task_data.cc.o"
+  "CMakeFiles/explainti_core.dir/task_data.cc.o.d"
+  "libexplainti_core.a"
+  "libexplainti_core.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_core.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

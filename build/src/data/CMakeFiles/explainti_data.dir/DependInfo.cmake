@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/data/corpus.cc" "src/data/CMakeFiles/explainti_data.dir/corpus.cc.o" "gcc" "src/data/CMakeFiles/explainti_data.dir/corpus.cc.o.d"
+  "/root/repo/src/data/csv_loader.cc" "src/data/CMakeFiles/explainti_data.dir/csv_loader.cc.o" "gcc" "src/data/CMakeFiles/explainti_data.dir/csv_loader.cc.o.d"
+  "/root/repo/src/data/git_generator.cc" "src/data/CMakeFiles/explainti_data.dir/git_generator.cc.o" "gcc" "src/data/CMakeFiles/explainti_data.dir/git_generator.cc.o.d"
+  "/root/repo/src/data/value_pools.cc" "src/data/CMakeFiles/explainti_data.dir/value_pools.cc.o" "gcc" "src/data/CMakeFiles/explainti_data.dir/value_pools.cc.o.d"
+  "/root/repo/src/data/wiki_generator.cc" "src/data/CMakeFiles/explainti_data.dir/wiki_generator.cc.o" "gcc" "src/data/CMakeFiles/explainti_data.dir/wiki_generator.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/text/CMakeFiles/explainti_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/explainti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,19 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_data.dir/corpus.cc.o"
+  "CMakeFiles/explainti_data.dir/corpus.cc.o.d"
+  "CMakeFiles/explainti_data.dir/csv_loader.cc.o"
+  "CMakeFiles/explainti_data.dir/csv_loader.cc.o.d"
+  "CMakeFiles/explainti_data.dir/git_generator.cc.o"
+  "CMakeFiles/explainti_data.dir/git_generator.cc.o.d"
+  "CMakeFiles/explainti_data.dir/value_pools.cc.o"
+  "CMakeFiles/explainti_data.dir/value_pools.cc.o.d"
+  "CMakeFiles/explainti_data.dir/wiki_generator.cc.o"
+  "CMakeFiles/explainti_data.dir/wiki_generator.cc.o.d"
+  "libexplainti_data.a"
+  "libexplainti_data.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_data.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,25 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/eval/f1_metrics.cc" "src/eval/CMakeFiles/explainti_eval.dir/f1_metrics.cc.o" "gcc" "src/eval/CMakeFiles/explainti_eval.dir/f1_metrics.cc.o.d"
+  "/root/repo/src/eval/human_sim.cc" "src/eval/CMakeFiles/explainti_eval.dir/human_sim.cc.o" "gcc" "src/eval/CMakeFiles/explainti_eval.dir/human_sim.cc.o.d"
+  "/root/repo/src/eval/sufficiency.cc" "src/eval/CMakeFiles/explainti_eval.dir/sufficiency.cc.o" "gcc" "src/eval/CMakeFiles/explainti_eval.dir/sufficiency.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/nn/CMakeFiles/explainti_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/explainti_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/explainti_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/explainti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_eval.dir/f1_metrics.cc.o"
+  "CMakeFiles/explainti_eval.dir/f1_metrics.cc.o.d"
+  "CMakeFiles/explainti_eval.dir/human_sim.cc.o"
+  "CMakeFiles/explainti_eval.dir/human_sim.cc.o.d"
+  "CMakeFiles/explainti_eval.dir/sufficiency.cc.o"
+  "CMakeFiles/explainti_eval.dir/sufficiency.cc.o.d"
+  "libexplainti_eval.a"
+  "libexplainti_eval.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_eval.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

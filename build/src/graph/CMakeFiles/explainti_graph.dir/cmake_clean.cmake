@@ -1,0 +1,11 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_graph.dir/column_graph.cc.o"
+  "CMakeFiles/explainti_graph.dir/column_graph.cc.o.d"
+  "libexplainti_graph.a"
+  "libexplainti_graph.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_graph.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

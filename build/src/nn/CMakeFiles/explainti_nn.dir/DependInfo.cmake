@@ -1,0 +1,28 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/src/nn/attention.cc" "src/nn/CMakeFiles/explainti_nn.dir/attention.cc.o" "gcc" "src/nn/CMakeFiles/explainti_nn.dir/attention.cc.o.d"
+  "/root/repo/src/nn/embeddings.cc" "src/nn/CMakeFiles/explainti_nn.dir/embeddings.cc.o" "gcc" "src/nn/CMakeFiles/explainti_nn.dir/embeddings.cc.o.d"
+  "/root/repo/src/nn/encoder.cc" "src/nn/CMakeFiles/explainti_nn.dir/encoder.cc.o" "gcc" "src/nn/CMakeFiles/explainti_nn.dir/encoder.cc.o.d"
+  "/root/repo/src/nn/heads.cc" "src/nn/CMakeFiles/explainti_nn.dir/heads.cc.o" "gcc" "src/nn/CMakeFiles/explainti_nn.dir/heads.cc.o.d"
+  "/root/repo/src/nn/linear.cc" "src/nn/CMakeFiles/explainti_nn.dir/linear.cc.o" "gcc" "src/nn/CMakeFiles/explainti_nn.dir/linear.cc.o.d"
+  "/root/repo/src/nn/module.cc" "src/nn/CMakeFiles/explainti_nn.dir/module.cc.o" "gcc" "src/nn/CMakeFiles/explainti_nn.dir/module.cc.o.d"
+  "/root/repo/src/nn/pretrain.cc" "src/nn/CMakeFiles/explainti_nn.dir/pretrain.cc.o" "gcc" "src/nn/CMakeFiles/explainti_nn.dir/pretrain.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/src/tensor/CMakeFiles/explainti_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/explainti_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/explainti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")

@@ -1,0 +1,23 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_nn.dir/attention.cc.o"
+  "CMakeFiles/explainti_nn.dir/attention.cc.o.d"
+  "CMakeFiles/explainti_nn.dir/embeddings.cc.o"
+  "CMakeFiles/explainti_nn.dir/embeddings.cc.o.d"
+  "CMakeFiles/explainti_nn.dir/encoder.cc.o"
+  "CMakeFiles/explainti_nn.dir/encoder.cc.o.d"
+  "CMakeFiles/explainti_nn.dir/heads.cc.o"
+  "CMakeFiles/explainti_nn.dir/heads.cc.o.d"
+  "CMakeFiles/explainti_nn.dir/linear.cc.o"
+  "CMakeFiles/explainti_nn.dir/linear.cc.o.d"
+  "CMakeFiles/explainti_nn.dir/module.cc.o"
+  "CMakeFiles/explainti_nn.dir/module.cc.o.d"
+  "CMakeFiles/explainti_nn.dir/pretrain.cc.o"
+  "CMakeFiles/explainti_nn.dir/pretrain.cc.o.d"
+  "libexplainti_nn.a"
+  "libexplainti_nn.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_nn.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,17 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_tensor.dir/gradcheck.cc.o"
+  "CMakeFiles/explainti_tensor.dir/gradcheck.cc.o.d"
+  "CMakeFiles/explainti_tensor.dir/optimizer.cc.o"
+  "CMakeFiles/explainti_tensor.dir/optimizer.cc.o.d"
+  "CMakeFiles/explainti_tensor.dir/tensor.cc.o"
+  "CMakeFiles/explainti_tensor.dir/tensor.cc.o.d"
+  "CMakeFiles/explainti_tensor.dir/tensor_ops.cc.o"
+  "CMakeFiles/explainti_tensor.dir/tensor_ops.cc.o.d"
+  "libexplainti_tensor.a"
+  "libexplainti_tensor.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_tensor.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

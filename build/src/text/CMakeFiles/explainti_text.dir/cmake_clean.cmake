@@ -1,0 +1,15 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_text.dir/serializer.cc.o"
+  "CMakeFiles/explainti_text.dir/serializer.cc.o.d"
+  "CMakeFiles/explainti_text.dir/tokenizer.cc.o"
+  "CMakeFiles/explainti_text.dir/tokenizer.cc.o.d"
+  "CMakeFiles/explainti_text.dir/vocab.cc.o"
+  "CMakeFiles/explainti_text.dir/vocab.cc.o.d"
+  "libexplainti_text.a"
+  "libexplainti_text.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_text.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

@@ -1,0 +1,21 @@
+file(REMOVE_RECURSE
+  "CMakeFiles/explainti_util.dir/csv.cc.o"
+  "CMakeFiles/explainti_util.dir/csv.cc.o.d"
+  "CMakeFiles/explainti_util.dir/logging.cc.o"
+  "CMakeFiles/explainti_util.dir/logging.cc.o.d"
+  "CMakeFiles/explainti_util.dir/rng.cc.o"
+  "CMakeFiles/explainti_util.dir/rng.cc.o.d"
+  "CMakeFiles/explainti_util.dir/status.cc.o"
+  "CMakeFiles/explainti_util.dir/status.cc.o.d"
+  "CMakeFiles/explainti_util.dir/string_util.cc.o"
+  "CMakeFiles/explainti_util.dir/string_util.cc.o.d"
+  "CMakeFiles/explainti_util.dir/table_printer.cc.o"
+  "CMakeFiles/explainti_util.dir/table_printer.cc.o.d"
+  "libexplainti_util.a"
+  "libexplainti_util.pdb"
+)
+
+# Per-language clean rules from dependency scanning.
+foreach(lang CXX)
+  include(CMakeFiles/explainti_util.dir/cmake_clean_${lang}.cmake OPTIONAL)
+endforeach()

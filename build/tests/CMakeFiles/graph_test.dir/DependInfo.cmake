@@ -1,0 +1,30 @@
+
+# Consider dependencies only in project.
+set(CMAKE_DEPENDS_IN_PROJECT_ONLY OFF)
+
+# The set of languages for which implicit dependencies are needed:
+set(CMAKE_DEPENDS_LANGUAGES
+  )
+
+# The set of dependency files which are needed:
+set(CMAKE_DEPENDS_DEPENDENCY_FILES
+  "/root/repo/tests/graph_test.cc" "tests/CMakeFiles/graph_test.dir/graph_test.cc.o" "gcc" "tests/CMakeFiles/graph_test.dir/graph_test.cc.o.d"
+  )
+
+# Targets to which this target links.
+set(CMAKE_TARGET_LINKED_INFO_FILES
+  "/root/repo/build/bench/CMakeFiles/explainti_bench_common.dir/DependInfo.cmake"
+  "/root/repo/build/src/baselines/CMakeFiles/explainti_baselines.dir/DependInfo.cmake"
+  "/root/repo/build/src/core/CMakeFiles/explainti_core.dir/DependInfo.cmake"
+  "/root/repo/build/src/data/CMakeFiles/explainti_data.dir/DependInfo.cmake"
+  "/root/repo/build/src/eval/CMakeFiles/explainti_eval.dir/DependInfo.cmake"
+  "/root/repo/build/src/graph/CMakeFiles/explainti_graph.dir/DependInfo.cmake"
+  "/root/repo/build/src/ann/CMakeFiles/explainti_ann.dir/DependInfo.cmake"
+  "/root/repo/build/src/nn/CMakeFiles/explainti_nn.dir/DependInfo.cmake"
+  "/root/repo/build/src/text/CMakeFiles/explainti_text.dir/DependInfo.cmake"
+  "/root/repo/build/src/tensor/CMakeFiles/explainti_tensor.dir/DependInfo.cmake"
+  "/root/repo/build/src/util/CMakeFiles/explainti_util.dir/DependInfo.cmake"
+  )
+
+# Fortran module output directory.
+set(CMAKE_Fortran_TARGET_MODULE_DIR "")
