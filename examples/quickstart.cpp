@@ -33,12 +33,21 @@ int main() {
   ExplainTiConfig config;
   config.base_model = "bert";
   config.epochs = 10;
+  // Crash-safe training: an epoch-level checkpoint (CRC32-protected) lets
+  // an interrupted run resume here; delete the file to retrain from
+  // scratch. A corrupted checkpoint is detected and ignored.
+  config.checkpoint_path = "/tmp/explainti_quickstart.ckpt";
   ExplainTiModel model(config, corpus);
 
   explainti::util::WallTimer timer;
   const auto fit = model.Fit();
-  std::printf("trained in %.1fs (best valid F1-weighted %.3f at epoch %d)\n",
-              timer.ElapsedSeconds(), fit.best_valid_f1, fit.best_epoch);
+  std::printf("trained in %.1fs (best valid F1-weighted %.3f at epoch %d)%s\n",
+              timer.ElapsedSeconds(), fit.best_valid_f1, fit.best_epoch,
+              fit.resumed ? " [resumed from checkpoint]" : "");
+  if (fit.skipped_steps > 0 || fit.rollbacks > 0) {
+    std::printf("recovered from %lld non-finite steps (%d rollbacks)\n",
+                static_cast<long long>(fit.skipped_steps), fit.rollbacks);
+  }
 
   // 3. Evaluate on the held-out test split.
   const auto type_f1 =
@@ -74,6 +83,9 @@ int main() {
                 z.structural[0].attention,
                 explainti::graph::BridgeKindName(z.structural[0].via),
                 z.structural[0].text.c_str());
+  }
+  if (!z.degradation_note.empty()) {
+    std::printf("note: %s\n", z.degradation_note.c_str());
   }
   return 0;
 }

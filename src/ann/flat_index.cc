@@ -32,7 +32,14 @@ void FlatIndex::Add(int64_t id, const std::vector<float>& vector) {
 
 std::vector<SearchResult> FlatIndex::Search(const std::vector<float>& query,
                                             int k) const {
-  CHECK_EQ(static_cast<int64_t>(query.size()), dim_);
+  if (ids_.empty() || k <= 0) return {};
+  if (static_cast<int64_t>(query.size()) != dim_) {
+    // A malformed query must degrade to "no neighbours", not abort: the
+    // caller (GE retrieval) has a recovery path for empty results.
+    LOG(WARNING) << "FlatIndex: query dim " << query.size()
+                 << " != index dim " << dim_ << "; returning no results";
+    return {};
+  }
   std::vector<float> q(query.size());
   NormalizeInto(query, q.data());
 

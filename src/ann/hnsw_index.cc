@@ -192,7 +192,12 @@ std::vector<SearchResult> HnswIndex::Search(const std::vector<float>& query,
                                             int k) const {
   std::vector<SearchResult> out;
   if (entry_point_ < 0 || k <= 0) return out;
-  CHECK_EQ(static_cast<int64_t>(query.size()), dim_);
+  if (static_cast<int64_t>(query.size()) != dim_) {
+    // Degrade to "no neighbours" instead of aborting; see FlatIndex.
+    LOG(WARNING) << "HnswIndex: query dim " << query.size()
+                 << " != index dim " << dim_ << "; returning no results";
+    return out;
+  }
 
   std::vector<float> q(query.size());
   NormalizeInto(query, q.data());

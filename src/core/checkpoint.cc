@@ -1,0 +1,221 @@
+#include "core/checkpoint.h"
+
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+
+namespace explainti::core {
+
+namespace {
+
+constexpr char kMagic[] = "XTICKPT1";
+constexpr uint32_t kVersion = 1;
+
+template <typename T>
+void Append(std::string* buffer, T value) {
+  buffer->append(reinterpret_cast<const char*>(&value), sizeof(value));
+}
+
+void AppendFloats(std::string* buffer, const std::vector<float>& values) {
+  buffer->append(reinterpret_cast<const char*>(values.data()),
+                 values.size() * sizeof(float));
+}
+
+/// Bounds-checked cursor over the loaded file image; every read returns
+/// false on overrun so truncation can never walk off the buffer.
+class Reader {
+ public:
+  Reader(const char* data, size_t size) : data_(data), size_(size) {}
+
+  template <typename T>
+  bool Read(T* out) {
+    if (pos_ + sizeof(T) > size_) return false;
+    std::memcpy(out, data_ + pos_, sizeof(T));
+    pos_ += sizeof(T);
+    return true;
+  }
+
+  bool ReadFloats(std::vector<float>* out, int64_t count) {
+    if (count < 0 ||
+        pos_ + static_cast<size_t>(count) * sizeof(float) > size_) {
+      return false;
+    }
+    out->resize(static_cast<size_t>(count));
+    std::memcpy(out->data(), data_ + pos_,
+                static_cast<size_t>(count) * sizeof(float));
+    pos_ += static_cast<size_t>(count) * sizeof(float);
+    return true;
+  }
+
+  bool AtEnd() const { return pos_ == size_; }
+
+ private:
+  const char* data_;
+  size_t size_;
+  size_t pos_ = 0;
+};
+
+}  // namespace
+
+util::Status SaveCheckpoint(const std::string& path, const Checkpoint& ckpt) {
+  if (ckpt.best_params.size() != 0 &&
+      ckpt.best_params.size() != ckpt.params.size()) {
+    return util::Status::InvalidArgument(
+        "best_params count must be 0 or match params");
+  }
+  const bool has_opt = !ckpt.opt_m.empty();
+  if (has_opt && (ckpt.opt_m.size() != ckpt.params.size() ||
+                  ckpt.opt_v.size() != ckpt.params.size())) {
+    return util::Status::InvalidArgument(
+        "optimizer state count must match params");
+  }
+
+  std::string buffer;
+  buffer.append(kMagic, 8);
+  Append(&buffer, kVersion);
+  Append(&buffer, ckpt.next_epoch);
+  Append(&buffer, ckpt.schedule_step);
+  Append(&buffer, ckpt.best_valid_f1);
+  Append(&buffer, ckpt.best_epoch);
+  Append(&buffer, static_cast<int64_t>(ckpt.params.size()));
+  for (const std::vector<float>& p : ckpt.params) {
+    Append(&buffer, static_cast<int64_t>(p.size()));
+    AppendFloats(&buffer, p);
+  }
+  Append(&buffer, static_cast<uint8_t>(ckpt.best_params.empty() ? 0 : 1));
+  for (size_t i = 0; i < ckpt.best_params.size(); ++i) {
+    if (ckpt.best_params[i].size() != ckpt.params[i].size()) {
+      return util::Status::InvalidArgument(
+          "best_params size mismatch at parameter " + std::to_string(i));
+    }
+    AppendFloats(&buffer, ckpt.best_params[i]);
+  }
+  Append(&buffer, static_cast<uint8_t>(has_opt ? 1 : 0));
+  if (has_opt) {
+    Append(&buffer, ckpt.opt_step_count);
+    for (size_t i = 0; i < ckpt.params.size(); ++i) {
+      if (ckpt.opt_m[i].size() != ckpt.params[i].size() ||
+          ckpt.opt_v[i].size() != ckpt.params[i].size()) {
+        return util::Status::InvalidArgument(
+            "optimizer state size mismatch at parameter " +
+            std::to_string(i));
+      }
+      AppendFloats(&buffer, ckpt.opt_m[i]);
+      AppendFloats(&buffer, ckpt.opt_v[i]);
+    }
+  }
+  Append(&buffer, util::Crc32(buffer));
+
+  // Atomic publish: write the full image to a tmp file, then rename. A
+  // crash (or the injected fault below) mid-write leaves `path` untouched,
+  // and the torn tmp file is removed before reporting the error.
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return util::Status::IoError("cannot open " + tmp);
+    const size_t half = buffer.size() / 2;
+    out.write(buffer.data(), static_cast<std::streamsize>(half));
+    util::Status fault = FAULT_POINT("checkpoint.write");
+    if (fault.ok()) {
+      out.write(buffer.data() + half,
+                static_cast<std::streamsize>(buffer.size() - half));
+    }
+    out.flush();
+    if (!fault.ok() || !out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return fault.ok() ? util::Status::IoError("write failed for " + tmp)
+                        : fault;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return util::Status::OK();
+}
+
+util::StatusOr<Checkpoint> LoadCheckpoint(const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return util::Status::NotFound("no checkpoint at " + path);
+  if (util::Status fault = FAULT_POINT("checkpoint.read"); !fault.ok()) {
+    return fault;
+  }
+  std::string image((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  if (in.bad()) return util::Status::IoError("read failed for " + path);
+
+  if (image.size() < 8 + sizeof(uint32_t) * 2 ||
+      std::memcmp(image.data(), kMagic, 8) != 0) {
+    return util::Status::InvalidArgument("not a checkpoint file: " + path);
+  }
+  // Verify the CRC32 footer before trusting any length field.
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, image.data() + image.size() - sizeof(uint32_t),
+              sizeof(uint32_t));
+  const uint32_t actual_crc =
+      util::Crc32(image.data(), image.size() - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return util::Status::InvalidArgument(
+        "checkpoint CRC mismatch (corrupted or truncated): " + path);
+  }
+
+  Reader reader(image.data() + 8, image.size() - 8 - sizeof(uint32_t));
+  uint32_t version = 0;
+  Checkpoint ckpt;
+  int64_t num_params = 0;
+  if (!reader.Read(&version) || version != kVersion) {
+    return util::Status::InvalidArgument("unsupported checkpoint version");
+  }
+  const auto truncated = [&path]() {
+    return util::Status::InvalidArgument("truncated checkpoint: " + path);
+  };
+  if (!reader.Read(&ckpt.next_epoch) || !reader.Read(&ckpt.schedule_step) ||
+      !reader.Read(&ckpt.best_valid_f1) || !reader.Read(&ckpt.best_epoch) ||
+      !reader.Read(&num_params) || num_params < 0) {
+    return truncated();
+  }
+  ckpt.params.resize(static_cast<size_t>(num_params));
+  for (auto& p : ckpt.params) {
+    int64_t size = 0;
+    if (!reader.Read(&size) || !reader.ReadFloats(&p, size)) {
+      return truncated();
+    }
+  }
+  uint8_t has_best = 0;
+  if (!reader.Read(&has_best)) return truncated();
+  if (has_best != 0) {
+    ckpt.best_params.resize(ckpt.params.size());
+    for (size_t i = 0; i < ckpt.params.size(); ++i) {
+      if (!reader.ReadFloats(&ckpt.best_params[i],
+                             static_cast<int64_t>(ckpt.params[i].size()))) {
+        return truncated();
+      }
+    }
+  }
+  uint8_t has_opt = 0;
+  if (!reader.Read(&has_opt)) return truncated();
+  if (has_opt != 0) {
+    if (!reader.Read(&ckpt.opt_step_count)) return truncated();
+    ckpt.opt_m.resize(ckpt.params.size());
+    ckpt.opt_v.resize(ckpt.params.size());
+    for (size_t i = 0; i < ckpt.params.size(); ++i) {
+      const int64_t size = static_cast<int64_t>(ckpt.params[i].size());
+      if (!reader.ReadFloats(&ckpt.opt_m[i], size) ||
+          !reader.ReadFloats(&ckpt.opt_v[i], size)) {
+        return truncated();
+      }
+    }
+  }
+  if (!reader.AtEnd()) {
+    return util::Status::InvalidArgument("trailing bytes in checkpoint: " +
+                                         path);
+  }
+  return ckpt;
+}
+
+}  // namespace explainti::core

@@ -44,6 +44,19 @@ struct ExplainTiConfig {
   int pretrain_epochs = 2;
   float pretrain_learning_rate = 1e-3f;
 
+  // -- Robustness (see DESIGN.md "Failure model & recovery") --------------
+  /// Consecutive non-finite (skipped) optimiser steps tolerated before
+  /// Fit() rolls the parameters back to the last-known-good snapshot and
+  /// resets the optimiser moments.
+  int max_bad_steps = 3;
+  /// When non-empty, Fit() writes a CRC32-protected checkpoint here every
+  /// `checkpoint_every_epochs` epochs and, when `resume_from_checkpoint`,
+  /// resumes from it (skipping pre-training). A corrupted or truncated
+  /// checkpoint is rejected and training restarts from scratch.
+  std::string checkpoint_path;
+  int checkpoint_every_epochs = 1;
+  bool resume_from_checkpoint = true;
+
   /// Whether the task's type labels are multi-label (sigmoid+BCE) or
   /// multi-class (softmax+CE); copied from the corpus at Fit time.
 };

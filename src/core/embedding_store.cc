@@ -1,5 +1,6 @@
 #include "core/embedding_store.h"
 
+#include "util/fault_injection.h"
 #include "util/logging.h"
 
 namespace explainti::core {
@@ -11,7 +12,11 @@ void EmbeddingStore::Rebuild(
     const std::vector<int>& ids,
     const std::vector<std::vector<float>>& embeddings) {
   CHECK_EQ(ids.size(), embeddings.size());
-  index_ = std::make_unique<ann::HnswIndex>(hnsw_options_);
+  hnsw_ = std::make_unique<ann::HnswIndex>(hnsw_options_);
+  flat_ = std::make_unique<ann::FlatIndex>();
+  hnsw_ready_ = true;
+  count_ = 0;
+  degraded_searches_.store(0, std::memory_order_relaxed);
   embeddings_.clear();
   present_.clear();
   for (size_t i = 0; i < ids.size(); ++i) {
@@ -24,15 +29,48 @@ void EmbeddingStore::Rebuild(
     CHECK(!present_[static_cast<size_t>(id)]) << "duplicate store id " << id;
     embeddings_[static_cast<size_t>(id)] = embeddings[i];
     present_[static_cast<size_t>(id)] = true;
-    index_->Add(id, embeddings[i]);
+    flat_->Add(id, embeddings[i]);
+    ++count_;
+    if (hnsw_ready_) {
+      if (util::Status fault = FAULT_POINT("store.build"); !fault.ok()) {
+        LOG(WARNING) << "HNSW build aborted after " << i
+                     << " inserts; store degrades to flat index: "
+                     << fault.ToString();
+        hnsw_.reset();
+        hnsw_ready_ = false;
+      } else {
+        hnsw_->Add(id, embeddings[i]);
+      }
+    }
   }
 }
 
 std::vector<ann::SearchResult> EmbeddingStore::Search(
-    const std::vector<float>& query, int k, int exclude_id) const {
-  CHECK(index_ != nullptr) << "EmbeddingStore::Search before Rebuild";
+    const std::vector<float>& query, int k, int exclude_id,
+    bool* used_fallback) const {
+  if (used_fallback != nullptr) *used_fallback = false;
+  if (flat_ == nullptr || count_ == 0) return {};  // Nothing stored yet.
+
   // Over-fetch by one so the self-hit can be dropped.
-  std::vector<ann::SearchResult> hits = index_->Search(query, k + 1);
+  std::vector<ann::SearchResult> hits;
+  bool degraded = !hnsw_ready_;
+  if (!degraded) {
+    if (util::Status fault = FAULT_POINT("ann.query"); !fault.ok()) {
+      LOG(WARNING) << "ANN query failed, falling back to flat index: "
+                   << fault.ToString();
+      degraded = true;
+    } else {
+      hits = hnsw_->Search(query, k + 1);
+      // A partially built graph can come back empty on a non-empty store.
+      if (hits.empty()) degraded = true;
+    }
+  }
+  if (degraded) {
+    hits = flat_->Search(query, k + 1);
+    degraded_searches_.fetch_add(1, std::memory_order_relaxed);
+    if (used_fallback != nullptr) *used_fallback = true;
+  }
+
   std::vector<ann::SearchResult> out;
   out.reserve(static_cast<size_t>(k));
   for (const ann::SearchResult& hit : hits) {

@@ -1,9 +1,12 @@
 #ifndef EXPLAINTI_CORE_EMBEDDING_STORE_H_
 #define EXPLAINTI_CORE_EMBEDDING_STORE_H_
 
+#include <atomic>
+#include <cstdint>
 #include <memory>
 #include <vector>
 
+#include "ann/flat_index.h"
 #include "ann/hnsw_index.h"
 #include "ann/index.h"
 
@@ -15,19 +18,32 @@ namespace explainti::core {
 /// The store is rebuilt ("updated after every fixed number of training
 /// steps") by re-encoding the training set and calling Rebuild(); ids are
 /// the caller's training-sample indices.
+///
+/// Degradation ladder (mirroring how faiss-backed services degrade): the
+/// HNSW index is the fast tier; when its build was aborted (fault site
+/// "store.build"), a query fails (fault site "ann.query"), or a partially
+/// built graph returns nothing for a non-empty store, Search() falls back
+/// to the exact FlatIndex — same results, O(N·d) cost — and reports the
+/// fallback through the `used_fallback` out-param and
+/// `degraded_searches()`. Before any Rebuild() the store is simply empty
+/// and Search() returns no hits.
 class EmbeddingStore {
  public:
   explicit EmbeddingStore(ann::HnswOptions hnsw_options = ann::HnswOptions());
 
   /// Replaces the store contents. `embeddings[i]` is stored under
-  /// `ids[i]`; all vectors must share one dimensionality.
+  /// `ids[i]`; all vectors must share one dimensionality. The flat tier
+  /// always builds; an injected "store.build" fault aborts the HNSW build
+  /// mid-way and the store serves from the flat tier.
   void Rebuild(const std::vector<int>& ids,
                const std::vector<std::vector<float>>& embeddings);
 
   /// Top-k most-similar stored samples, optionally excluding one id
-  /// (the query sample itself during training).
+  /// (the query sample itself during training). Sets `*used_fallback`
+  /// (when non-null) to whether the flat tier answered instead of HNSW.
   std::vector<ann::SearchResult> Search(const std::vector<float>& query,
-                                        int k, int exclude_id = -1) const;
+                                        int k, int exclude_id = -1,
+                                        bool* used_fallback = nullptr) const;
 
   /// The stored embedding for `id`. Aborts when absent.
   const std::vector<float>& Embedding(int id) const;
@@ -35,11 +51,24 @@ class EmbeddingStore {
   /// True when `id` has a stored embedding.
   bool Contains(int id) const;
 
-  int64_t size() const { return index_ ? index_->size() : 0; }
+  /// Number of stored embeddings (flat tier; independent of HNSW health).
+  int64_t size() const { return count_; }
+
+  /// False when the HNSW build was aborted and queries serve flat.
+  bool hnsw_ready() const { return hnsw_ready_; }
+
+  /// Searches answered by the flat fallback since the last Rebuild.
+  int64_t degraded_searches() const {
+    return degraded_searches_.load(std::memory_order_relaxed);
+  }
 
  private:
   ann::HnswOptions hnsw_options_;
-  std::unique_ptr<ann::HnswIndex> index_;
+  std::unique_ptr<ann::HnswIndex> hnsw_;
+  std::unique_ptr<ann::FlatIndex> flat_;
+  bool hnsw_ready_ = false;
+  int64_t count_ = 0;
+  mutable std::atomic<int64_t> degraded_searches_{0};
   std::vector<std::vector<float>> embeddings_;  // Dense by id.
   std::vector<bool> present_;
 };

@@ -4,11 +4,14 @@
 #include <cmath>
 #include <cstring>
 #include <fstream>
+#include <limits>
 #include <unordered_map>
 
+#include "core/checkpoint.h"
 #include "nn/pretrain.h"
 #include "tensor/optimizer.h"
 #include "tensor/tensor_ops.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/string_util.h"
 #include "util/timer.h"
@@ -268,8 +271,10 @@ ExplainTiModel::Forward ExplainTiModel::RunForward(TaskKind kind,
     // A training sample would otherwise retrieve itself — vacuous as an
     // explanation and label leakage as a training signal.
     const int exclude = task.IsTrainSample(sample_id) ? sample_id : -1;
-    const std::vector<ann::SearchResult> hits =
-        store.Search(fwd.cls.ToVector(), config_.top_k, exclude);
+    bool used_fallback = false;
+    const std::vector<ann::SearchResult> hits = store.Search(
+        fwd.cls.ToVector(), config_.top_k, exclude, &used_fallback);
+    fwd.ann_fallback = used_fallback;
     if (!hits.empty()) {
       const int k = static_cast<int>(hits.size());
       const int64_t d = fwd.cls.size();
@@ -501,8 +506,71 @@ FitStats ExplainTiModel::Fit() {
   std::vector<TaskKind> tasks = {TaskKind::kType};
   if (relation_task_.has_value()) tasks.push_back(TaskKind::kRelation);
 
+  std::vector<tensor::Tensor> params = AllParameters();
+  auto snapshot = [&params]() {
+    std::vector<std::vector<float>> snap;
+    snap.reserve(params.size());
+    for (const tensor::Tensor& p : params) snap.push_back(p.ToVector());
+    return snap;
+  };
+  auto restore = [&params](const std::vector<std::vector<float>>& snap) {
+    for (size_t i = 0; i < params.size(); ++i) {
+      std::copy(snap[i].begin(), snap[i].end(), params[i].data());
+    }
+  };
+  auto params_finite = [&params]() {
+    for (const tensor::Tensor& p : params) {
+      const float* w = p.data();
+      for (int64_t i = 0; i < p.size(); ++i) {
+        if (!std::isfinite(w[i])) return false;
+      }
+    }
+    return true;
+  };
+  auto shapes_match = [&params](const std::vector<std::vector<float>>& snap) {
+    if (snap.size() != params.size()) return false;
+    for (size_t i = 0; i < params.size(); ++i) {
+      if (static_cast<int64_t>(snap[i].size()) != params[i].size()) {
+        return false;
+      }
+    }
+    return true;
+  };
+
+  // -- Step 0: attempt checkpoint resume. ---------------------------------
+  // A loadable checkpoint already contains pre-trained + partially
+  // fine-tuned weights, so a successful resume skips Step 1 entirely. A
+  // missing checkpoint is normal; a corrupted one is logged and ignored —
+  // training restarts from scratch rather than crashing or loading garbage
+  // (the CRC32 footer catches torn/corrupted files before any field is
+  // trusted).
+  Checkpoint resume;
+  int start_epoch = 0;
+  std::vector<std::vector<float>> best_params;
+  if (!config_.checkpoint_path.empty() && config_.resume_from_checkpoint) {
+    util::StatusOr<Checkpoint> loaded =
+        LoadCheckpoint(config_.checkpoint_path);
+    if (loaded.ok() && shapes_match(loaded->params)) {
+      resume = std::move(loaded).value();
+      restore(resume.params);
+      start_epoch = resume.next_epoch;
+      stats.best_valid_f1 = resume.best_valid_f1;
+      stats.best_epoch = resume.best_epoch;
+      best_params = std::move(resume.best_params);
+      stats.resumed = true;
+      LOG(INFO) << "resumed from " << config_.checkpoint_path
+                << " at epoch " << start_epoch;
+    } else if (loaded.ok()) {
+      LOG(WARNING) << "checkpoint " << config_.checkpoint_path
+                   << " has mismatched shapes; training from scratch";
+    } else if (loaded.status().code() != util::StatusCode::kNotFound) {
+      LOG(WARNING) << "checkpoint unusable, training from scratch: "
+                   << loaded.status().ToString();
+    }
+  }
+
   // -- Step 1: MLM pre-training over all training sequences. --------------
-  {
+  if (!stats.resumed) {
     std::vector<std::vector<int>> id_seqs;
     std::vector<std::vector<int>> segment_seqs;
     for (TaskKind kind : tasks) {
@@ -532,10 +600,17 @@ FitStats ExplainTiModel::Fit() {
   }
 
   // -- Step 3: multi-task fine-tuning. ---------------------------------------
-  std::vector<tensor::Tensor> params = AllParameters();
   tensor::AdamWOptions adam_options;
   adam_options.learning_rate = config_.learning_rate;
   tensor::AdamW optimizer(params, adam_options);
+  if (stats.resumed && !resume.opt_m.empty()) {
+    const util::Status st =
+        optimizer.SetState(std::move(resume.opt_m), std::move(resume.opt_v),
+                           resume.opt_step_count);
+    if (!st.ok()) {
+      LOG(WARNING) << "optimizer state not restored: " << st.ToString();
+    }
+  }
 
   int64_t steps_per_epoch = 0;
   for (TaskKind kind : tasks) {
@@ -548,22 +623,17 @@ FitStats ExplainTiModel::Fit() {
 
   util::Rng train_rng(config_.seed + 2);
   util::Rng order_rng(config_.seed + 3);
-  int64_t step = 0;
+  int64_t step = stats.resumed ? resume.schedule_step : 0;
 
-  std::vector<std::vector<float>> best_params;
-  auto snapshot = [&params]() {
-    std::vector<std::vector<float>> snap;
-    snap.reserve(params.size());
-    for (const tensor::Tensor& p : params) snap.push_back(p.ToVector());
-    return snap;
-  };
-  auto restore = [&params](const std::vector<std::vector<float>>& snap) {
-    for (size_t i = 0; i < params.size(); ++i) {
-      std::copy(snap[i].begin(), snap[i].end(), params[i].data());
-    }
-  };
+  // Clip/skip/rollback state: the last-known-good parameter snapshot is
+  // refreshed at every epoch whose weights are finite; `max_bad_steps`
+  // consecutive non-finite steps restore it and reset the optimiser
+  // moments (stale moments would re-apply the diverging direction).
+  std::vector<std::vector<float>> good_params = snapshot();
+  int consecutive_bad = 0;
+  const int max_bad = std::max(config_.max_bad_steps, 1);
 
-  for (int epoch = 0; epoch < config_.epochs; ++epoch) {
+  for (int epoch = start_epoch; epoch < config_.epochs; ++epoch) {
     for (TaskKind kind : tasks) {
       const TaskData& task = Task(kind);
       std::vector<int> order = task.train_ids;
@@ -579,12 +649,45 @@ FitStats ExplainTiModel::Fit() {
             kind, task.samples[static_cast<size_t>(id)], fwd);
         loss = tensor::Scale(loss,
                              1.0f / static_cast<float>(config_.batch_size));
-        loss.Backward();
+        // A non-finite per-sample loss would poison the whole accumulated
+        // batch; drop the sample and keep the batch alive.
+        if (std::isfinite(loss.item())) {
+          loss.Backward();
+        } else {
+          LOG(WARNING) << "non-finite loss on sample " << id
+                       << "; excluded from this batch";
+        }
         ++in_batch;
         if (in_batch == config_.batch_size || i + 1 == order.size()) {
-          optimizer.Step(schedule.LearningRate(step++));
+          // Fault site "optimizer.step": poisons the accumulated
+          // gradients with NaN to exercise the skip/rollback path.
+          if (util::fault::ShouldInject("optimizer.step",
+                                        util::fault::FaultKind::kNan)) {
+            const float nan = std::numeric_limits<float>::quiet_NaN();
+            for (tensor::Tensor& p : params) {
+              if (!p.has_grad()) continue;
+              float* g = p.grad();
+              for (int64_t j = 0; j < p.size(); ++j) g[j] = nan;
+            }
+          }
+          const bool applied =
+              optimizer.Step(schedule.LearningRate(step++));
           optimizer.ZeroGrad();
           in_batch = 0;
+          if (applied) {
+            consecutive_bad = 0;
+          } else {
+            ++stats.skipped_steps;
+            if (++consecutive_bad >= max_bad) {
+              LOG(WARNING)
+                  << consecutive_bad << " consecutive bad steps; rolling "
+                  << "back to last-known-good parameters";
+              restore(good_params);
+              optimizer.ResetState();
+              consecutive_bad = 0;
+              ++stats.rollbacks;
+            }
+          }
         }
       }
       const double seconds = task_timer.ElapsedSeconds();
@@ -593,6 +696,19 @@ FitStats ExplainTiModel::Fit() {
       } else {
         stats.relation_train_seconds += seconds;
       }
+    }
+
+    // End of epoch: refresh the last-known-good snapshot, but only from
+    // finite weights — a divergence that slipped past the per-step gate
+    // must not become the rollback target.
+    if (params_finite()) {
+      good_params = snapshot();
+    } else {
+      LOG(WARNING) << "non-finite weights at end of epoch " << epoch
+                   << "; rolling back";
+      restore(good_params);
+      optimizer.ResetState();
+      ++stats.rollbacks;
     }
 
     // Periodic store refresh (paper: every 5 epochs).
@@ -610,10 +726,32 @@ FitStats ExplainTiModel::Fit() {
           Evaluate(kind, data::SplitPart::kValid).weighted);
     }
     valid_f1 /= static_cast<float>(tasks.size());
-    if (valid_f1 > stats.best_valid_f1) {
+    if (std::isfinite(valid_f1) && valid_f1 > stats.best_valid_f1) {
       stats.best_valid_f1 = valid_f1;
       stats.best_epoch = epoch;
       best_params = snapshot();
+    }
+
+    // Periodic checkpoint; a failed save degrades to "no checkpoint this
+    // epoch" — training never aborts over checkpoint I/O.
+    if (!config_.checkpoint_path.empty() &&
+        (epoch + 1) % std::max(config_.checkpoint_every_epochs, 1) == 0) {
+      Checkpoint ckpt;
+      ckpt.next_epoch = epoch + 1;
+      ckpt.schedule_step = step;
+      ckpt.best_valid_f1 = stats.best_valid_f1;
+      ckpt.best_epoch = stats.best_epoch;
+      ckpt.params = snapshot();
+      ckpt.best_params = best_params;
+      ckpt.opt_step_count = optimizer.step_count();
+      ckpt.opt_m = optimizer.first_moments();
+      ckpt.opt_v = optimizer.second_moments();
+      const util::Status saved =
+          SaveCheckpoint(config_.checkpoint_path, ckpt);
+      if (!saved.ok()) {
+        LOG(WARNING) << "checkpoint save failed (training continues): "
+                     << saved.ToString();
+      }
     }
   }
 
@@ -689,6 +827,15 @@ Explanation ExplainTiModel::Explain(TaskKind kind, int sample_id) const {
   z.local = std::move(fwd.windows);
   z.global = std::move(fwd.retrieved);
   z.structural = std::move(fwd.neighbors);
+  if (fwd.ann_fallback) {
+    z.ann_degraded = true;
+    z.degradation_note =
+        "global retrieval degraded: HNSW index unavailable or failed; "
+        "served exactly by the flat index";
+  } else if (config_.use_global && Store(kind).size() == 0) {
+    z.degradation_note =
+        "embedding store empty: global explanations unavailable";
+  }
   return z;
 }
 

@@ -22,7 +22,8 @@
 
 namespace explainti::core {
 
-/// Wall-clock accounting of a Fit() run (Table V).
+/// Wall-clock accounting of a Fit() run (Table V), plus the recovery
+/// events the hardened trainer survived.
 struct FitStats {
   double pretrain_seconds = 0.0;
   double type_train_seconds = 0.0;
@@ -30,6 +31,14 @@ struct FitStats {
   double store_build_seconds = 0.0;
   float best_valid_f1 = 0.0f;
   int best_epoch = -1;
+  /// Optimiser steps skipped because the loss or gradients were
+  /// non-finite (clip/skip/rollback policy; see DESIGN.md).
+  int64_t skipped_steps = 0;
+  /// Parameter rollbacks to the last-known-good snapshot after
+  /// `config.max_bad_steps` consecutive skipped steps.
+  int rollbacks = 0;
+  /// Fit() resumed from `config.checkpoint_path` instead of pre-training.
+  bool resumed = false;
 };
 
 /// The ExplainTI framework (Section III): a pre-trained mini transformer
@@ -112,6 +121,8 @@ class ExplainTiModel {
     std::vector<GlobalExplanation> retrieved;
     // SE.
     std::vector<StructuralExplanation> neighbors;
+    // True when GE retrieval used the flat-index fallback.
+    bool ann_fallback = false;
   };
 
   const TaskData& Task(TaskKind kind) const;

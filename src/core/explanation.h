@@ -46,6 +46,12 @@ struct Explanation {
   std::vector<LocalExplanation> local;            ///< Sorted by RS desc.
   std::vector<GlobalExplanation> global;          ///< Sorted by IS desc.
   std::vector<StructuralExplanation> structural;  ///< Sorted by AS desc.
+  /// True when GE retrieval fell back from HNSW to the exact flat index
+  /// (index absent, partially built, or the query failed). The results
+  /// are still correct — the flat tier is exact — only slower.
+  bool ann_degraded = false;
+  /// Human-readable account of any degradation; empty when healthy.
+  std::string degradation_note;
 };
 
 }  // namespace explainti::core

@@ -27,6 +27,9 @@ util::StatusOr<Table> TableFromCsvRows(
   if (rows.empty()) {
     return util::Status::InvalidArgument("CSV has no rows");
   }
+  if (rows[0].empty()) {
+    return util::Status::InvalidArgument("CSV has a zero-column first row");
+  }
   Table table;
   table.title = options.title;
 

@@ -6,6 +6,17 @@
 
 namespace explainti::tensor {
 
+namespace {
+
+bool AllFinite(const float* data, int64_t n) {
+  for (int64_t i = 0; i < n; ++i) {
+    if (!std::isfinite(data[i])) return false;
+  }
+  return true;
+}
+
+}  // namespace
+
 LinearSchedule::LinearSchedule(float base_lr, int64_t total_steps,
                                int64_t warmup_steps)
     : base_lr_(base_lr),
@@ -43,31 +54,49 @@ void AdamW::ZeroGrad() {
   for (Tensor& p : parameters_) p.ZeroGrad();
 }
 
-void AdamW::Step(float learning_rate) {
+bool AdamW::GradientsAreFinite() const {
+  for (const Tensor& p : parameters_) {
+    if (!p.has_grad()) continue;
+    if (!AllFinite(p.grad(), p.size())) return false;
+  }
+  return true;
+}
+
+bool AdamW::Step(float learning_rate) {
   const float lr = learning_rate >= 0.0f ? learning_rate
                                          : options_.learning_rate;
-  ++step_count_;
-  const float bias1 = 1.0f - std::pow(options_.beta1,
-                                      static_cast<float>(step_count_));
-  const float bias2 = 1.0f - std::pow(options_.beta2,
-                                      static_cast<float>(step_count_));
 
-  // Optional global-norm gradient clipping.
+  // Global-norm accumulation doubles as the non-finite gradient gate: a
+  // single NaN/Inf poisons the norm, and the whole update is skipped with
+  // weights and moments untouched.
+  double total_sq = 0.0;
+  for (const Tensor& p : parameters_) {
+    if (!p.has_grad()) continue;
+    const float* g = p.grad();
+    for (int64_t i = 0; i < p.size(); ++i) {
+      total_sq += static_cast<double>(g[i]) * g[i];
+    }
+  }
+  if (!std::isfinite(total_sq)) {
+    ++skipped_steps_;
+    LOG(WARNING) << "AdamW: non-finite gradient, skipping step "
+                 << step_count_ + 1 << " (skip #" << skipped_steps_ << ")";
+    return false;
+  }
+
   float clip_scale = 1.0f;
   if (options_.max_grad_norm > 0.0f) {
-    double total_sq = 0.0;
-    for (Tensor& p : parameters_) {
-      if (!p.has_grad()) continue;
-      const float* g = p.grad();
-      for (int64_t i = 0; i < p.size(); ++i) {
-        total_sq += static_cast<double>(g[i]) * g[i];
-      }
-    }
     const float norm = static_cast<float>(std::sqrt(total_sq));
     if (norm > options_.max_grad_norm) {
       clip_scale = options_.max_grad_norm / (norm + 1e-12f);
     }
   }
+
+  ++step_count_;
+  const float bias1 = 1.0f - std::pow(options_.beta1,
+                                      static_cast<float>(step_count_));
+  const float bias2 = 1.0f - std::pow(options_.beta2,
+                                      static_cast<float>(step_count_));
 
   for (size_t idx = 0; idx < parameters_.size(); ++idx) {
     Tensor& p = parameters_[idx];
@@ -87,6 +116,33 @@ void AdamW::Step(float learning_rate) {
                     options_.weight_decay * w[i]);
     }
   }
+  return true;
+}
+
+void AdamW::ResetState() {
+  for (auto& m : m_) std::fill(m.begin(), m.end(), 0.0f);
+  for (auto& v : v_) std::fill(v.begin(), v.end(), 0.0f);
+  step_count_ = 0;
+}
+
+util::Status AdamW::SetState(std::vector<std::vector<float>> m,
+                             std::vector<std::vector<float>> v,
+                             int64_t step_count) {
+  if (m.size() != parameters_.size() || v.size() != parameters_.size()) {
+    return util::Status::InvalidArgument(
+        "optimizer state tensor count mismatch");
+  }
+  for (size_t i = 0; i < parameters_.size(); ++i) {
+    if (static_cast<int64_t>(m[i].size()) != parameters_[i].size() ||
+        static_cast<int64_t>(v[i].size()) != parameters_[i].size()) {
+      return util::Status::InvalidArgument(
+          "optimizer state size mismatch at parameter " + std::to_string(i));
+    }
+  }
+  m_ = std::move(m);
+  v_ = std::move(v);
+  step_count_ = step_count;
+  return util::Status::OK();
 }
 
 Sgd::Sgd(std::vector<Tensor> parameters, float learning_rate)
@@ -100,14 +156,20 @@ void Sgd::ZeroGrad() {
   for (Tensor& p : parameters_) p.ZeroGrad();
 }
 
-void Sgd::Step(float learning_rate) {
+bool Sgd::Step(float learning_rate) {
   const float lr = learning_rate >= 0.0f ? learning_rate : learning_rate_;
+  for (const Tensor& p : parameters_) {
+    if (!p.has_grad() || AllFinite(p.grad(), p.size())) continue;
+    LOG(WARNING) << "Sgd: non-finite gradient, skipping step";
+    return false;
+  }
   for (Tensor& p : parameters_) {
     if (!p.has_grad()) continue;
     float* w = p.data();
     const float* g = p.grad();
     for (int64_t i = 0; i < p.size(); ++i) w[i] -= lr * g[i];
   }
+  return true;
 }
 
 }  // namespace explainti::tensor

@@ -5,6 +5,7 @@
 #include <vector>
 
 #include "tensor/tensor.h"
+#include "util/status.h"
 
 namespace explainti::tensor {
 
@@ -43,6 +44,12 @@ struct AdamWOptions {
 /// Parameters are leaves with `requires_grad() == true`; the trainer calls
 /// `ZeroGrad()`, runs forward/backward (possibly accumulating several
 /// samples), then `Step()`.
+///
+/// Steps are NaN-safe: when any accumulated gradient is non-finite the
+/// update is skipped entirely — weights and moment estimates stay
+/// untouched — and `Step()` returns false (`skipped_steps()` counts them).
+/// Trainers detect the skip and apply their own recovery policy (see
+/// `ExplainTiModel::Fit()`'s skip/rollback loop).
 class AdamW {
  public:
   AdamW(std::vector<Tensor> parameters, AdamWOptions options);
@@ -52,11 +59,33 @@ class AdamW {
 
   /// Applies one AdamW update using the current gradients and
   /// `learning_rate` (pass the schedule's value; falls back to the
-  /// configured rate when negative).
-  void Step(float learning_rate = -1.0f);
+  /// configured rate when negative). Returns false — without touching
+  /// weights or moments — when any gradient is non-finite.
+  bool Step(float learning_rate = -1.0f);
+
+  /// True when every gradient buffer currently holds only finite values.
+  bool GradientsAreFinite() const;
+
+  /// Zeroes the moment estimates and the step counter. Called after a
+  /// parameter rollback: stale moments would otherwise re-apply the very
+  /// update direction that diverged.
+  void ResetState();
+
+  /// Restores moment estimates and step counter saved from an earlier run
+  /// (checkpoint resume). Shapes must match the parameter set.
+  util::Status SetState(std::vector<std::vector<float>> m,
+                        std::vector<std::vector<float>> v,
+                        int64_t step_count);
 
   int64_t step_count() const { return step_count_; }
+  int64_t skipped_steps() const { return skipped_steps_; }
   const std::vector<Tensor>& parameters() const { return parameters_; }
+  /// First/second moment estimates, indexed like `parameters()`; exposed
+  /// for checkpointing.
+  const std::vector<std::vector<float>>& first_moments() const { return m_; }
+  const std::vector<std::vector<float>>& second_moments() const {
+    return v_;
+  }
 
  private:
   std::vector<Tensor> parameters_;
@@ -64,15 +93,17 @@ class AdamW {
   std::vector<std::vector<float>> m_;  // First-moment estimates.
   std::vector<std::vector<float>> v_;  // Second-moment estimates.
   int64_t step_count_ = 0;
+  int64_t skipped_steps_ = 0;
 };
 
 /// Plain SGD (used by the lightweight baselines and the FRESH probe).
+/// Shares AdamW's NaN-safety: a non-finite gradient skips the update.
 class Sgd {
  public:
   Sgd(std::vector<Tensor> parameters, float learning_rate);
 
   void ZeroGrad();
-  void Step(float learning_rate = -1.0f);
+  bool Step(float learning_rate = -1.0f);
 
  private:
   std::vector<Tensor> parameters_;

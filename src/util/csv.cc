@@ -3,7 +3,18 @@
 #include <fstream>
 #include <sstream>
 
+#include "util/fault_injection.h"
+
 namespace explainti::util {
+
+namespace {
+
+/// Hard cap on a single field; real-world dirty tables occasionally carry
+/// megabyte blobs (stack traces, base64) that would otherwise blow up the
+/// serialiser downstream.
+constexpr size_t kMaxFieldBytes = 1 << 20;  // 1 MiB
+
+}  // namespace
 
 StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
     const std::string& text) {
@@ -26,6 +37,15 @@ StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
 
   for (size_t i = 0; i < text.size(); ++i) {
     const char c = text[i];
+    if (c == '\0') {
+      return Status::InvalidArgument("embedded NUL byte at offset " +
+                                     std::to_string(i));
+    }
+    if (field.size() > kMaxFieldBytes) {
+      return Status::InvalidArgument(
+          "field exceeds " + std::to_string(kMaxFieldBytes) +
+          " bytes at offset " + std::to_string(i));
+    }
     if (in_quotes) {
       if (c == '"') {
         if (i + 1 < text.size() && text[i + 1] == '"') {
@@ -55,7 +75,13 @@ StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
       case '\r':
         break;  // Tolerate CRLF.
       case '\n':
-        end_row();
+        if (!field_started && field.empty() && row.empty()) {
+          // A blank line is a zero-column row, not a one-empty-field row;
+          // table loaders reject these explicitly.
+          rows.emplace_back();
+        } else {
+          end_row();
+        }
         break;
       default:
         field.push_back(c);
@@ -74,13 +100,20 @@ StatusOr<std::vector<std::vector<std::string>>> ParseCsv(
 
 StatusOr<std::vector<std::vector<std::string>>> ReadCsvFile(
     const std::string& path) {
+  if (Status fault = FAULT_POINT("csv.read"); !fault.ok()) return fault;
   std::ifstream in(path, std::ios::binary);
   if (!in) {
     return Status::IoError("cannot open " + path);
   }
   std::ostringstream buffer;
   buffer << in.rdbuf();
-  return ParseCsv(buffer.str());
+  if (in.bad()) {
+    return Status::IoError("read failed for " + path);
+  }
+  std::string content = buffer.str();
+  // Simulates a short read (torn file, interrupted transfer) under test.
+  fault::MaybeTruncate("csv.read.truncate", &content);
+  return ParseCsv(content);
 }
 
 std::string WriteCsv(const std::vector<std::vector<std::string>>& rows) {

@@ -1,9 +1,42 @@
 #include "util/logging.h"
 
+#include <atomic>
+#include <cstring>
+#include <mutex>
+
 namespace explainti::util {
 
 namespace {
-LogSeverity g_min_severity = LogSeverity::kInfo;
+
+/// Parses EXPLAINTI_MIN_LOG_SEVERITY ("INFO".."FATAL" or "0".."3"); falls
+/// back to kInfo on anything unrecognised.
+LogSeverity SeverityFromEnv() {
+  const char* env = std::getenv("EXPLAINTI_MIN_LOG_SEVERITY");
+  if (env == nullptr || env[0] == '\0') return LogSeverity::kInfo;
+  if (std::strcmp(env, "INFO") == 0 || std::strcmp(env, "0") == 0) {
+    return LogSeverity::kInfo;
+  }
+  if (std::strcmp(env, "WARNING") == 0 || std::strcmp(env, "1") == 0) {
+    return LogSeverity::kWarning;
+  }
+  if (std::strcmp(env, "ERROR") == 0 || std::strcmp(env, "2") == 0) {
+    return LogSeverity::kError;
+  }
+  if (std::strcmp(env, "FATAL") == 0 || std::strcmp(env, "3") == 0) {
+    return LogSeverity::kFatal;
+  }
+  return LogSeverity::kInfo;
+}
+
+/// Read once at startup; SetMinLogSeverity overrides at runtime.
+std::atomic<LogSeverity> g_min_severity{SeverityFromEnv()};
+
+/// Serialises the std::cerr write in ~LogMessage so concurrent log lines
+/// never interleave mid-line.
+std::mutex& SinkMutex() {
+  static std::mutex* mu = new std::mutex();
+  return *mu;
+}
 
 const char* SeverityTag(LogSeverity severity) {
   switch (severity) {
@@ -20,8 +53,12 @@ const char* SeverityTag(LogSeverity severity) {
 }
 }  // namespace
 
-void SetMinLogSeverity(LogSeverity severity) { g_min_severity = severity; }
-LogSeverity MinLogSeverity() { return g_min_severity; }
+void SetMinLogSeverity(LogSeverity severity) {
+  g_min_severity.store(severity, std::memory_order_relaxed);
+}
+LogSeverity MinLogSeverity() {
+  return g_min_severity.load(std::memory_order_relaxed);
+}
 
 namespace internal_logging {
 
@@ -33,6 +70,7 @@ LogMessage::LogMessage(LogSeverity severity, const char* file, int line)
 
 LogMessage::~LogMessage() {
   if (severity_ >= MinLogSeverity() || severity_ == LogSeverity::kFatal) {
+    std::lock_guard<std::mutex> lock(SinkMutex());
     std::cerr << stream_.str() << std::endl;
   }
   if (severity_ == LogSeverity::kFatal) {

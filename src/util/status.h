@@ -5,6 +5,8 @@
 #include <string>
 #include <utility>
 
+#include "util/logging.h"
+
 namespace explainti::util {
 
 /// Error category for a failed operation.
@@ -94,9 +96,18 @@ class StatusOr {
   bool ok() const { return status_.ok(); }
   const Status& status() const { return status_; }
 
-  const T& value() const& { return value_.value(); }
-  T& value() & { return value_.value(); }
-  T&& value() && { return std::move(value_).value(); }
+  const T& value() const& {
+    CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T& value() & {
+    CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *value_;
+  }
+  T&& value() && {
+    CHECK(ok()) << "StatusOr::value() on error: " << status_.ToString();
+    return *std::move(value_);
+  }
 
   const T& operator*() const& { return *value_; }
   T& operator*() & { return *value_; }

@@ -2,6 +2,8 @@
 // must hold for any corpus, any vocabulary, and any query — parameterized
 // over seeds and sizes with TEST_P.
 
+#include <cstdio>
+#include <fstream>
 #include <set>
 #include <unordered_map>
 #include <unordered_set>
@@ -10,6 +12,7 @@
 
 #include "ann/flat_index.h"
 #include "ann/hnsw_index.h"
+#include "data/csv_loader.h"
 #include "data/git_generator.h"
 #include "data/wiki_generator.h"
 #include "eval/f1_metrics.h"
@@ -266,6 +269,116 @@ TEST_P(F1PropertyTest, MatchesBruteForceReference) {
 
 INSTANTIATE_TEST_SUITE_P(Seeds, F1PropertyTest,
                          ::testing::Values(11, 222, 3333, 44444));
+
+// ---------------------------------------------------------------------------
+// CSV loader hostility sweep: corrupted byte-strings through
+// LoadTableFromCsv. Every outcome is acceptable — a loaded table or a
+// non-OK Status — except a crash or abort.
+// ---------------------------------------------------------------------------
+
+namespace csv_fuzz {
+
+void WriteBytes(const std::string& path, const std::string& bytes) {
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+}
+
+/// Loads `bytes` as a CSV file; the table must be well-formed when the
+/// loader reports success.
+void ExpectLoadSurvives(const std::string& path, const std::string& bytes) {
+  WriteBytes(path, bytes);
+  const util::StatusOr<data::Table> table = data::LoadTableFromCsv(path);
+  if (table.ok()) {
+    EXPECT_FALSE(table->columns.empty());
+    for (const data::Column& column : table->columns) {
+      EXPECT_EQ(column.cells.size(), table->columns[0].cells.size());
+    }
+  } else {
+    EXPECT_FALSE(table.status().ToString().empty());
+  }
+}
+
+}  // namespace csv_fuzz
+
+TEST(CsvFuzzTest, HostileInputsReturnInvalidArgument) {
+  const std::string path = "/tmp/explainti_csv_hostile.csv";
+  const auto load = [&](const std::string& bytes) {
+    csv_fuzz::WriteBytes(path, bytes);
+    return data::LoadTableFromCsv(path);
+  };
+
+  // Unterminated quoted field.
+  auto r = load("a,b\n\"never closed,1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+
+  // Embedded NUL byte.
+  r = load(std::string("a,b\nx,\0y\n", 9));
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+
+  // A single cell larger than the 1 MiB cap.
+  r = load("a,b\n" + std::string((1 << 20) + 64, 'x') + ",1\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+
+  // Zero-column first row (blank line up top).
+  r = load("\nx,y\n");
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), util::StatusCode::kInvalidArgument);
+
+  // Empty file.
+  r = load("");
+  EXPECT_FALSE(r.ok());
+
+  std::remove(path.c_str());
+}
+
+TEST(CsvFuzzTest, MutatedInputsNeverAbort) {
+  const std::string kSeed =
+      "name,age,city,notes\n"
+      "alice,30,\"new york\",\"said \"\"hi\"\"\"\n"
+      "bob,41,paris,\n"
+      "carol,29,\"lima, peru\",ok\n";
+  const char kAlphabet[] = {'"', ',',  '\n', '\r', '\0', '\x7f',
+                            '\xff', '\t', 'a',  '0',  ';',  '|'};
+  const std::string path = "/tmp/explainti_csv_fuzz.csv";
+  util::Rng rng(0xC57FC57FULL);
+
+  for (int iter = 0; iter < 1000; ++iter) {
+    std::string bytes = kSeed;
+    const int mutations = 1 + static_cast<int>(rng.UniformInt(8));
+    for (int m = 0; m < mutations && !bytes.empty(); ++m) {
+      const size_t pos = static_cast<size_t>(rng.UniformInt(bytes.size()));
+      switch (rng.UniformInt(5)) {
+        case 0:  // Overwrite with a hostile byte.
+          bytes[pos] = kAlphabet[rng.UniformInt(sizeof(kAlphabet))];
+          break;
+        case 1:  // Insert a hostile byte.
+          bytes.insert(bytes.begin() + static_cast<std::ptrdiff_t>(pos),
+                       kAlphabet[rng.UniformInt(sizeof(kAlphabet))]);
+          break;
+        case 2:  // Delete a span.
+          bytes.erase(pos, 1 + rng.UniformInt(4));
+          break;
+        case 3:  // Truncate (torn write).
+          bytes.resize(pos);
+          break;
+        case 4: {  // Duplicate a chunk elsewhere.
+          const std::string chunk =
+              bytes.substr(pos, 1 + rng.UniformInt(8));
+          const size_t at =
+              static_cast<size_t>(rng.UniformInt(bytes.size() + 1));
+          bytes.insert(at, chunk);
+          break;
+        }
+      }
+    }
+    SCOPED_TRACE("fuzz iteration " + std::to_string(iter));
+    csv_fuzz::ExpectLoadSurvives(path, bytes);
+  }
+  std::remove(path.c_str());
+}
 
 }  // namespace
 }  // namespace explainti

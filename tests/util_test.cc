@@ -1,9 +1,13 @@
 #include <algorithm>
+#include <iostream>
 #include <set>
 #include <sstream>
+#include <thread>
+#include <vector>
 
 #include <gtest/gtest.h>
 
+#include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
 #include "util/string_util.h"
@@ -36,6 +40,42 @@ TEST(StatusTest, StatusOrErrorPath) {
   StatusOr<int> result = Status::NotFound("missing");
   EXPECT_FALSE(result.ok());
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
+}
+
+TEST(StatusDeathTest, StatusOrValueOnErrorAbortsWithStatus) {
+  StatusOr<int> result = Status::NotFound("missing checkpoint");
+  // value() on an error is a programming bug; it must CHECK-fail with the
+  // carried status, not throw an opaque exception.
+  EXPECT_DEATH((void)result.value(), "missing checkpoint");
+}
+
+TEST(LoggingTest, ConcurrentMessagesStayIntact) {
+  std::ostringstream captured;
+  std::streambuf* old_buf = std::cerr.rdbuf(captured.rdbuf());
+  std::vector<std::thread> threads;
+  for (int t = 0; t < 4; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < 50; ++i) {
+        LOG(WARNING) << "intact[" << t << ":" << i << "]";
+      }
+    });
+  }
+  for (std::thread& th : threads) th.join();
+  std::cerr.rdbuf(old_buf);
+
+  // The sink mutex makes each message one atomic line: every captured
+  // line carries exactly one marker, never a torn interleaving.
+  std::istringstream lines(captured.str());
+  std::string line;
+  int markers = 0;
+  while (std::getline(lines, line)) {
+    const size_t first = line.find("intact[");
+    if (first == std::string::npos) continue;
+    ++markers;
+    EXPECT_EQ(first, line.rfind("intact[")) << "torn line: " << line;
+    EXPECT_NE(line.find(']', first), std::string::npos);
+  }
+  EXPECT_EQ(markers, 200);
 }
 
 TEST(RngTest, DeterministicPerSeed) {
