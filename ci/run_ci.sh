@@ -1,0 +1,62 @@
+#!/usr/bin/env bash
+# CI driver: one job per invocation, mirroring .github/workflows/ci.yml.
+#
+#   ci/run_ci.sh release      Release build (warnings-as-errors), full
+#                             ctest suite, parallel-scaling benchmark.
+#   ci/run_ci.sh asan-ubsan   Address+UB sanitizer build, tier1 tests.
+#   ci/run_ci.sh tsan         ThreadSanitizer build, tier1 tests with
+#                             EXPLAINTI_NUM_THREADS=4 so every parallel
+#                             region actually fans out under TSan.
+#
+# Run locally exactly as CI does: each job uses its own build directory,
+# so jobs can run back-to-back without reconfiguring.
+
+set -euo pipefail
+
+JOB="${1:-release}"
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+JOBS="${CI_PARALLEL_JOBS:-$(nproc)}"
+
+configure_and_build() {
+  local build_dir="$1"
+  shift
+  cmake -B "$build_dir" -S "$ROOT" -DEXPLAINTI_WERROR=ON "$@"
+  cmake --build "$build_dir" -j "$JOBS"
+}
+
+case "$JOB" in
+  release)
+    BUILD="$ROOT/build-ci-release"
+    configure_and_build "$BUILD" -DCMAKE_BUILD_TYPE=Release
+    (cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
+    # Scaling benchmark doubles as a determinism gate (checksums must
+    # match across 1/2/4 threads); keep its JSON as a CI artifact.
+    (cd "$BUILD" && ./bench/bench_parallel_scaling)
+    echo "BENCH_parallel.json:"
+    cat "$BUILD/BENCH_parallel.json"
+    ;;
+  asan-ubsan)
+    BUILD="$ROOT/build-ci-asan"
+    configure_and_build "$BUILD" \
+      -DCMAKE_BUILD_TYPE=Debug -DEXPLAINTI_SANITIZE=address,undefined
+    (cd "$BUILD" && \
+     ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
+     UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
+     ctest -L tier1 --output-on-failure -j "$JOBS")
+    ;;
+  tsan)
+    BUILD="$ROOT/build-ci-tsan"
+    configure_and_build "$BUILD" \
+      -DCMAKE_BUILD_TYPE=Debug -DEXPLAINTI_SANITIZE=thread
+    (cd "$BUILD" && \
+     EXPLAINTI_NUM_THREADS=4 \
+     TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
+     ctest -L tier1 --output-on-failure -j "$JOBS")
+    ;;
+  *)
+    echo "unknown CI job: $JOB (expected release, asan-ubsan, or tsan)" >&2
+    exit 2
+    ;;
+esac
+
+echo "ci job '$JOB' passed"

@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace explainti::ann {
 
@@ -43,14 +44,20 @@ std::vector<SearchResult> FlatIndex::Search(const std::vector<float>& query,
   std::vector<float> q(query.size());
   NormalizeInto(query, q.data());
 
-  std::vector<SearchResult> results;
-  results.reserve(ids_.size());
-  for (size_t i = 0; i < ids_.size(); ++i) {
-    const float* row = vectors_.data() + static_cast<int64_t>(i) * dim_;
-    float dot = 0.0f;
-    for (int64_t j = 0; j < dim_; ++j) dot += row[j] * q[j];
-    results.push_back(SearchResult{ids_[i], dot});
-  }
+  // Each row's score lands in its own slot, so the scored list (and the
+  // tie-broken partial sort below) is identical at any thread count.
+  std::vector<SearchResult> results(ids_.size());
+  util::ParallelFor(
+      0, static_cast<int64_t>(ids_.size()), util::GrainForCost(dim_),
+      [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          const float* row = vectors_.data() + i * dim_;
+          float dot = 0.0f;
+          for (int64_t j = 0; j < dim_; ++j) dot += row[j] * q[j];
+          results[static_cast<size_t>(i)] =
+              SearchResult{ids_[static_cast<size_t>(i)], dot};
+        }
+      });
   const size_t take = std::min<size_t>(static_cast<size_t>(std::max(k, 0)),
                                        results.size());
   std::partial_sort(results.begin(), results.begin() + take, results.end(),

@@ -6,6 +6,7 @@
 #include <unordered_set>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace explainti::ann {
 
@@ -81,6 +82,11 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
   results.push(Candidate{entry_dist, entry});
   visited.insert(entry);
 
+  // Scratch reused across frontier expansions so the parallel distance
+  // pass doesn't allocate per iteration.
+  std::vector<int> fresh;
+  std::vector<float> fresh_dist;
+
   while (!frontier.empty()) {
     const Candidate closest = frontier.top();
     frontier.pop();
@@ -88,14 +94,29 @@ std::vector<HnswIndex::Candidate> HnswIndex::SearchLayer(const float* query,
         static_cast<int>(results.size()) >= ef) {
       break;
     }
+    // Distance evaluation is the hot part of an expansion; the heap
+    // updates stay serial and in link order, so the beam (and the final
+    // candidate list) is bit-identical to the single-threaded search.
+    fresh.clear();
     for (int neighbor : links_[static_cast<size_t>(closest.node)]
                             .per_layer[static_cast<size_t>(layer)]) {
-      if (!visited.insert(neighbor).second) continue;
-      const float d = Distance(query, VectorOf(neighbor));
+      if (visited.insert(neighbor).second) fresh.push_back(neighbor);
+    }
+    fresh_dist.resize(fresh.size());
+    util::ParallelFor(
+        0, static_cast<int64_t>(fresh.size()), util::GrainForCost(dim_),
+        [&](int64_t ib, int64_t ie) {
+          for (int64_t i = ib; i < ie; ++i) {
+            fresh_dist[static_cast<size_t>(i)] =
+                Distance(query, VectorOf(fresh[static_cast<size_t>(i)]));
+          }
+        });
+    for (size_t i = 0; i < fresh.size(); ++i) {
+      const float d = fresh_dist[i];
       if (static_cast<int>(results.size()) < ef ||
           d < results.top().distance) {
-        frontier.push(Candidate{d, neighbor});
-        results.push(Candidate{d, neighbor});
+        frontier.push(Candidate{d, fresh[i]});
+        results.push(Candidate{d, fresh[i]});
         if (static_cast<int>(results.size()) > ef) results.pop();
       }
     }
@@ -169,13 +190,17 @@ void HnswIndex::Add(int64_t id, const std::vector<float>& vector) {
                             .per_layer[static_cast<size_t>(layer)];
       nbr_links.push_back(node);
       if (static_cast<int>(nbr_links.size()) > m_max) {
-        std::vector<Candidate> pruned;
-        pruned.reserve(nbr_links.size());
+        std::vector<Candidate> pruned(nbr_links.size());
         const float* nbr_vec = VectorOf(neighbor);
-        for (int candidate : nbr_links) {
-          pruned.push_back(
-              Candidate{Distance(nbr_vec, VectorOf(candidate)), candidate});
-        }
+        util::ParallelFor(
+            0, static_cast<int64_t>(nbr_links.size()),
+            util::GrainForCost(dim_), [&](int64_t ib, int64_t ie) {
+              for (int64_t i = ib; i < ie; ++i) {
+                const int candidate = nbr_links[static_cast<size_t>(i)];
+                pruned[static_cast<size_t>(i)] = Candidate{
+                    Distance(nbr_vec, VectorOf(candidate)), candidate};
+              }
+            });
         nbr_links = SelectNeighbors(std::move(pruned), m_max);
       }
     }

@@ -14,6 +14,7 @@
 #include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/string_util.h"
+#include "util/thread_pool.h"
 #include "util/timer.h"
 
 namespace explainti::core {
@@ -173,7 +174,9 @@ std::vector<tensor::Tensor> ExplainTiModel::AllParameters() const {
 ExplainTiModel::Forward ExplainTiModel::RunForward(TaskKind kind,
                                                    int sample_id,
                                                    bool training,
-                                                   util::Rng& rng) const {
+                                                   util::Rng& rng,
+                                                   bool with_local,
+                                                   bool with_global) const {
   const TaskData& task = Task(kind);
   CHECK(sample_id >= 0 &&
         sample_id < static_cast<int>(task.samples.size()));
@@ -267,7 +270,7 @@ ExplainTiModel::Forward ExplainTiModel::RunForward(TaskKind kind,
   }
 
   // -- Global Explanations (Algorithm 2) ----------------------------------
-  if (config_.use_global && store.size() > 0) {
+  if (with_global && store.size() > 0) {
     // A training sample would otherwise retrieve itself — vacuous as an
     // explanation and label leakage as a training signal.
     const int exclude = task.IsTrainSample(sample_id) ? sample_id : -1;
@@ -321,7 +324,7 @@ ExplainTiModel::Forward ExplainTiModel::RunForward(TaskKind kind,
   }
 
   // -- Local Explanations (Algorithm 1) ------------------------------------
-  if (config_.use_local) {
+  if (with_local) {
     const int k = config_.window_size;
     // Reference distribution: the model's own prediction.
     std::vector<float> ref =
@@ -479,19 +482,23 @@ tensor::Tensor ExplainTiModel::ComputeLoss(TaskKind kind,
 
 void ExplainTiModel::RebuildStore(TaskKind kind) {
   const TaskData& task = Task(kind);
-  std::vector<int> ids;
-  std::vector<std::vector<float>> embeddings;
-  ids.reserve(task.train_ids.size());
-  embeddings.reserve(task.train_ids.size());
-  util::Rng rng(config_.seed + 555);  // Eval mode: rng unused by dropout.
-  for (int id : task.train_ids) {
-    const TaskSample& sample = task.samples[static_cast<size_t>(id)];
-    tensor::Tensor hidden = encoder_->Forward(sample.seq.ids,
-                                              sample.seq.segments,
-                                              /*training=*/false, rng);
-    ids.push_back(id);
-    embeddings.push_back(tensor::Row(hidden, 0).ToVector());
-  }
+  const int64_t n = static_cast<int64_t>(task.train_ids.size());
+  std::vector<int> ids(task.train_ids.begin(), task.train_ids.end());
+  std::vector<std::vector<float>> embeddings(static_cast<size_t>(n));
+  // Eval-mode encoding never touches the RNG (no dropout), and every
+  // sample writes only its own slot, so batched encoding fans out across
+  // the pool with results identical to the serial loop.
+  util::ParallelFor(0, n, 1, [&](int64_t ib, int64_t ie) {
+    util::Rng rng(config_.seed + 555);  // Per-chunk instance; unused.
+    for (int64_t i = ib; i < ie; ++i) {
+      const TaskSample& sample =
+          task.samples[static_cast<size_t>(ids[static_cast<size_t>(i)])];
+      tensor::Tensor hidden = encoder_->Forward(sample.seq.ids,
+                                                sample.seq.segments,
+                                                /*training=*/false, rng);
+      embeddings[static_cast<size_t>(i)] = tensor::Row(hidden, 0).ToVector();
+    }
+  });
   Store(kind).Rebuild(ids, embeddings);
 }
 
@@ -789,26 +796,20 @@ std::vector<int> ExplainTiModel::DecodeLabels(
 }
 
 std::vector<int> ExplainTiModel::Predict(TaskKind kind, int sample_id) const {
-  // Fast path: LE/GE do not change the final logits; disable them here.
-  ExplainTiConfig saved = config_;
-  auto* self = const_cast<ExplainTiModel*>(this);
-  self->config_.use_local = false;
-  self->config_.use_global = false;
+  // Fast path: LE/GE do not change the final logits; skip them via the
+  // explicit-flags forward (no shared-state mutation, so concurrent
+  // Predict calls from Evaluate's parallel loop are safe).
   util::Rng rng(InferenceSeed(sample_id));
-  Forward fwd = RunForward(kind, sample_id, /*training=*/false, rng);
-  self->config_ = saved;
+  Forward fwd = RunForward(kind, sample_id, /*training=*/false, rng,
+                           /*with_local=*/false, /*with_global=*/false);
   return DecodeLabels(kind, fwd.final_logits.ToVector());
 }
 
 std::vector<float> ExplainTiModel::PredictProbabilities(TaskKind kind,
                                                         int sample_id) const {
-  ExplainTiConfig saved = config_;
-  auto* self = const_cast<ExplainTiModel*>(this);
-  self->config_.use_local = false;
-  self->config_.use_global = false;
   util::Rng rng(InferenceSeed(sample_id));
-  Forward fwd = RunForward(kind, sample_id, /*training=*/false, rng);
-  self->config_ = saved;
+  Forward fwd = RunForward(kind, sample_id, /*training=*/false, rng,
+                           /*with_local=*/false, /*with_global=*/false);
   const TaskData& task = Task(kind);
   return task.multi_label
              ? tensor::SigmoidValues(fwd.final_logits.ToVector())
@@ -915,14 +916,19 @@ eval::F1Scores ExplainTiModel::Evaluate(TaskKind kind,
       ids = &task.test_ids;
       break;
   }
-  std::vector<eval::LabeledPrediction> predictions;
-  predictions.reserve(ids->size());
-  for (int id : *ids) {
-    eval::LabeledPrediction p;
-    p.gold = task.samples[static_cast<size_t>(id)].labels;
-    p.predicted = Predict(kind, id);
-    predictions.push_back(std::move(p));
-  }
+  // Predict seeds a per-sample RNG (InferenceSeed) and mutates no model
+  // state, so samples evaluate concurrently with the same predictions the
+  // serial loop produced.
+  std::vector<eval::LabeledPrediction> predictions(ids->size());
+  util::ParallelFor(
+      0, static_cast<int64_t>(ids->size()), 1, [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          const int id = (*ids)[static_cast<size_t>(i)];
+          eval::LabeledPrediction& p = predictions[static_cast<size_t>(i)];
+          p.gold = task.samples[static_cast<size_t>(id)].labels;
+          p.predicted = Predict(kind, id);
+        }
+      });
   return eval::ComputeF1(predictions, task.num_labels);
 }
 

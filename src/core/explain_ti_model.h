@@ -132,9 +132,18 @@ class ExplainTiModel {
   const EmbeddingStore& Store(TaskKind kind) const;
 
   /// Full forward pass for `sample_id`; `training` enables dropout,
-  /// GE self-exclusion and SE neighbour sampling noise.
+  /// GE self-exclusion and SE neighbour sampling noise. The four-argument
+  /// form runs with the configured explanation modules; the explicit form
+  /// lets Predict() skip LE/GE (they never change the final logits)
+  /// without mutating shared state, which keeps concurrent Evaluate()
+  /// calls race-free.
   Forward RunForward(TaskKind kind, int sample_id, bool training,
-                     util::Rng& rng) const;
+                     util::Rng& rng) const {
+    return RunForward(kind, sample_id, training, rng, config_.use_local,
+                      config_.use_global);
+  }
+  Forward RunForward(TaskKind kind, int sample_id, bool training,
+                     util::Rng& rng, bool with_local, bool with_global) const;
 
   /// Builds the per-sample joint loss (Eq. 11) from a Forward.
   tensor::Tensor ComputeLoss(TaskKind kind, const TaskSample& sample,

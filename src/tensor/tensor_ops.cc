@@ -4,6 +4,7 @@
 #include <cmath>
 
 #include "util/logging.h"
+#include "util/thread_pool.h"
 
 namespace explainti::tensor {
 
@@ -189,14 +190,32 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   const float* pb = b.data();
   float* pc = node->data.data();
   // i-k-j loop order: streams through b's rows; good locality row-major.
-  for (int64_t i = 0; i < m; ++i) {
-    for (int64_t kk = 0; kk < k; ++kk) {
-      const float av = pa[i * k + kk];
-      if (av == 0.0f) continue;
-      const float* brow = pb + kk * n;
-      float* crow = pc + i * n;
-      for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-    }
+  // Output rows are disjoint, so chunking over i (or, for a single output
+  // row, over j) keeps every element's accumulation order — and therefore
+  // the float result — identical to the serial loop.
+  if (m > 1) {
+    util::ParallelFor(0, m, util::GrainForCost(k * n),
+                      [&](int64_t ib, int64_t ie) {
+      for (int64_t i = ib; i < ie; ++i) {
+        for (int64_t kk = 0; kk < k; ++kk) {
+          const float av = pa[i * k + kk];
+          if (av == 0.0f) continue;
+          const float* brow = pb + kk * n;
+          float* crow = pc + i * n;
+          for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+        }
+      }
+    });
+  } else {
+    util::ParallelFor(0, n, util::GrainForCost(k),
+                      [&](int64_t jb, int64_t je) {
+      for (int64_t kk = 0; kk < k; ++kk) {
+        const float av = pa[kk];
+        if (av == 0.0f) continue;
+        const float* brow = pb + kk * n;
+        for (int64_t j = jb; j < je; ++j) pc[j] += av * brow[j];
+      }
+    });
   }
 
   if (node->requires_grad) {
@@ -206,32 +225,53 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
     node->backward_fn = [out, na, nb, m, k, n]() {
       const float* gout = out->grad.data();
       if (na->requires_grad) {
-        // dA = dC * B^T : [m,k]
+        // dA = dC * B^T : [m,k]. Each dA element is a dot product, so any
+        // disjoint chunking (rows, or columns when m == 1) is exact.
         auto& ga = na->EnsureGrad();
         const float* pb = nb->data.data();
-        for (int64_t i = 0; i < m; ++i) {
-          for (int64_t kk = 0; kk < k; ++kk) {
-            float acc = 0.0f;
-            const float* grow = gout + i * n;
-            const float* brow = pb + kk * n;
-            for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
-            ga[i * k + kk] += acc;
-          }
+        if (m > 1) {
+          util::ParallelFor(0, m, util::GrainForCost(k * n),
+                            [&](int64_t ib, int64_t ie) {
+            for (int64_t i = ib; i < ie; ++i) {
+              for (int64_t kk = 0; kk < k; ++kk) {
+                float acc = 0.0f;
+                const float* grow = gout + i * n;
+                const float* brow = pb + kk * n;
+                for (int64_t j = 0; j < n; ++j) acc += grow[j] * brow[j];
+                ga[i * k + kk] += acc;
+              }
+            }
+          });
+        } else {
+          util::ParallelFor(0, k, util::GrainForCost(n),
+                            [&](int64_t kb, int64_t ke) {
+            for (int64_t kk = kb; kk < ke; ++kk) {
+              float acc = 0.0f;
+              const float* brow = pb + kk * n;
+              for (int64_t j = 0; j < n; ++j) acc += gout[j] * brow[j];
+              ga[kk] += acc;
+            }
+          });
         }
       }
       if (nb->requires_grad) {
-        // dB = A^T * dC : [k,n]
+        // dB = A^T * dC : [k,n], chunked over dB rows (kk). Per (kk, j)
+        // the accumulation still runs i-ascending, matching the serial
+        // i-outer loop bit-for-bit.
         auto& gb = nb->EnsureGrad();
         const float* pa = na->data.data();
-        for (int64_t i = 0; i < m; ++i) {
-          const float* grow = gout + i * n;
-          for (int64_t kk = 0; kk < k; ++kk) {
-            const float av = pa[i * k + kk];
-            if (av == 0.0f) continue;
+        util::ParallelFor(0, k, util::GrainForCost(m * n),
+                          [&](int64_t kb, int64_t ke) {
+          for (int64_t kk = kb; kk < ke; ++kk) {
             float* gbrow = gb.data() + kk * n;
-            for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+            for (int64_t i = 0; i < m; ++i) {
+              const float av = pa[i * k + kk];
+              if (av == 0.0f) continue;
+              const float* grow = gout + i * n;
+              for (int64_t j = 0; j < n; ++j) gbrow[j] += av * grow[j];
+            }
           }
-        }
+        });
       }
     };
   }
@@ -663,33 +703,43 @@ RowRange LastDimRows(const Tensor& a) {
 Tensor Softmax(const Tensor& a) {
   const RowRange rr = LastDimRows(a);
   auto node = NewNode(a.shape(), {a});
-  for (int64_t r = 0; r < rr.rows; ++r) {
-    const float* in = a.data() + r * rr.cols;
-    float* out = node->data.data() + r * rr.cols;
-    float max_v = in[0];
-    for (int64_t j = 1; j < rr.cols; ++j) max_v = std::max(max_v, in[j]);
-    float total = 0.0f;
-    for (int64_t j = 0; j < rr.cols; ++j) {
-      out[j] = std::exp(in[j] - max_v);
-      total += out[j];
+  // Rows are independent in forward and backward; parallel chunks touch
+  // disjoint rows, so results match the serial loop exactly.
+  const float* pa = a.data();
+  float* pout = node->data.data();
+  util::ParallelFor(0, rr.rows, util::GrainForCost(4 * rr.cols),
+                    [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const float* in = pa + r * rr.cols;
+      float* out = pout + r * rr.cols;
+      float max_v = in[0];
+      for (int64_t j = 1; j < rr.cols; ++j) max_v = std::max(max_v, in[j]);
+      float total = 0.0f;
+      for (int64_t j = 0; j < rr.cols; ++j) {
+        out[j] = std::exp(in[j] - max_v);
+        total += out[j];
+      }
+      for (int64_t j = 0; j < rr.cols; ++j) out[j] /= total;
     }
-    for (int64_t j = 0; j < rr.cols; ++j) out[j] /= total;
-  }
+  });
   if (node->requires_grad) {
     Node* out = node.get();
     auto na = a.node();
     node->backward_fn = [out, na, rr]() {
       if (!na->requires_grad) return;
       auto& ga = na->EnsureGrad();
-      for (int64_t r = 0; r < rr.rows; ++r) {
-        const float* y = out->data.data() + r * rr.cols;
-        const float* gy = out->grad.data() + r * rr.cols;
-        float dot = 0.0f;
-        for (int64_t j = 0; j < rr.cols; ++j) dot += y[j] * gy[j];
-        for (int64_t j = 0; j < rr.cols; ++j) {
-          ga[r * rr.cols + j] += y[j] * (gy[j] - dot);
+      util::ParallelFor(0, rr.rows, util::GrainForCost(3 * rr.cols),
+                        [&](int64_t rb, int64_t re) {
+        for (int64_t r = rb; r < re; ++r) {
+          const float* y = out->data.data() + r * rr.cols;
+          const float* gy = out->grad.data() + r * rr.cols;
+          float dot = 0.0f;
+          for (int64_t j = 0; j < rr.cols; ++j) dot += y[j] * gy[j];
+          for (int64_t j = 0; j < rr.cols; ++j) {
+            ga[r * rr.cols + j] += y[j] * (gy[j] - dot);
+          }
         }
-      }
+      });
     };
   }
   return Tensor(node);
@@ -698,31 +748,39 @@ Tensor Softmax(const Tensor& a) {
 Tensor LogSoftmax(const Tensor& a) {
   const RowRange rr = LastDimRows(a);
   auto node = NewNode(a.shape(), {a});
-  for (int64_t r = 0; r < rr.rows; ++r) {
-    const float* in = a.data() + r * rr.cols;
-    float* out = node->data.data() + r * rr.cols;
-    float max_v = in[0];
-    for (int64_t j = 1; j < rr.cols; ++j) max_v = std::max(max_v, in[j]);
-    float total = 0.0f;
-    for (int64_t j = 0; j < rr.cols; ++j) total += std::exp(in[j] - max_v);
-    const float log_z = max_v + std::log(total);
-    for (int64_t j = 0; j < rr.cols; ++j) out[j] = in[j] - log_z;
-  }
+  const float* pa = a.data();
+  float* pout = node->data.data();
+  util::ParallelFor(0, rr.rows, util::GrainForCost(3 * rr.cols),
+                    [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const float* in = pa + r * rr.cols;
+      float* out = pout + r * rr.cols;
+      float max_v = in[0];
+      for (int64_t j = 1; j < rr.cols; ++j) max_v = std::max(max_v, in[j]);
+      float total = 0.0f;
+      for (int64_t j = 0; j < rr.cols; ++j) total += std::exp(in[j] - max_v);
+      const float log_z = max_v + std::log(total);
+      for (int64_t j = 0; j < rr.cols; ++j) out[j] = in[j] - log_z;
+    }
+  });
   if (node->requires_grad) {
     Node* out = node.get();
     auto na = a.node();
     node->backward_fn = [out, na, rr]() {
       if (!na->requires_grad) return;
       auto& ga = na->EnsureGrad();
-      for (int64_t r = 0; r < rr.rows; ++r) {
-        const float* y = out->data.data() + r * rr.cols;
-        const float* gy = out->grad.data() + r * rr.cols;
-        float gsum = 0.0f;
-        for (int64_t j = 0; j < rr.cols; ++j) gsum += gy[j];
-        for (int64_t j = 0; j < rr.cols; ++j) {
-          ga[r * rr.cols + j] += gy[j] - std::exp(y[j]) * gsum;
+      util::ParallelFor(0, rr.rows, util::GrainForCost(3 * rr.cols),
+                        [&](int64_t rb, int64_t re) {
+        for (int64_t r = rb; r < re; ++r) {
+          const float* y = out->data.data() + r * rr.cols;
+          const float* gy = out->grad.data() + r * rr.cols;
+          float gsum = 0.0f;
+          for (int64_t j = 0; j < rr.cols; ++j) gsum += gy[j];
+          for (int64_t j = 0; j < rr.cols; ++j) {
+            ga[r * rr.cols + j] += gy[j] - std::exp(y[j]) * gsum;
+          }
         }
-      }
+      });
     };
   }
   return Tensor(node);
@@ -738,69 +796,93 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   CHECK(gamma.rank() == 1 && gamma.size() == rr.cols) << "LayerNorm gamma";
   CHECK(beta.rank() == 1 && beta.size() == rr.cols) << "LayerNorm beta";
   auto node = NewNode(a.shape(), {a, gamma, beta});
-  // Cache per-row mean and inverse stddev for backward.
+  // Cache per-row mean and inverse stddev for backward. Rows are
+  // independent; parallel chunks write disjoint rows of out/means/stds.
   auto means = std::make_shared<std::vector<float>>(rr.rows);
   auto inv_stds = std::make_shared<std::vector<float>>(rr.rows);
-  for (int64_t r = 0; r < rr.rows; ++r) {
-    const float* in = a.data() + r * rr.cols;
-    float mean = 0.0f;
-    for (int64_t j = 0; j < rr.cols; ++j) mean += in[j];
-    mean /= static_cast<float>(rr.cols);
-    float var = 0.0f;
-    for (int64_t j = 0; j < rr.cols; ++j) {
-      const float d = in[j] - mean;
-      var += d * d;
+  const float* pa = a.data();
+  const float* pgamma = gamma.data();
+  const float* pbeta = beta.data();
+  float* pout = node->data.data();
+  util::ParallelFor(0, rr.rows, util::GrainForCost(6 * rr.cols),
+                    [&](int64_t rb, int64_t re) {
+    for (int64_t r = rb; r < re; ++r) {
+      const float* in = pa + r * rr.cols;
+      float mean = 0.0f;
+      for (int64_t j = 0; j < rr.cols; ++j) mean += in[j];
+      mean /= static_cast<float>(rr.cols);
+      float var = 0.0f;
+      for (int64_t j = 0; j < rr.cols; ++j) {
+        const float d = in[j] - mean;
+        var += d * d;
+      }
+      var /= static_cast<float>(rr.cols);
+      const float inv_std = 1.0f / std::sqrt(var + eps);
+      (*means)[r] = mean;
+      (*inv_stds)[r] = inv_std;
+      float* out = pout + r * rr.cols;
+      for (int64_t j = 0; j < rr.cols; ++j) {
+        out[j] = (in[j] - mean) * inv_std * pgamma[j] + pbeta[j];
+      }
     }
-    var /= static_cast<float>(rr.cols);
-    const float inv_std = 1.0f / std::sqrt(var + eps);
-    (*means)[r] = mean;
-    (*inv_stds)[r] = inv_std;
-    float* out = node->data.data() + r * rr.cols;
-    for (int64_t j = 0; j < rr.cols; ++j) {
-      out[j] = (in[j] - mean) * inv_std * gamma.data()[j] + beta.data()[j];
-    }
-  }
+  });
   if (node->requires_grad) {
     Node* out = node.get();
     auto na = a.node();
     auto ng = gamma.node();
     auto nb = beta.node();
     node->backward_fn = [out, na, ng, nb, rr, means, inv_stds]() {
-      for (int64_t r = 0; r < rr.rows; ++r) {
-        const float* in = na->data.data() + r * rr.cols;
-        const float* gy = out->grad.data() + r * rr.cols;
-        const float mean = (*means)[r];
-        const float inv_std = (*inv_stds)[r];
-        if (ng->requires_grad) {
-          auto& gg = ng->EnsureGrad();
+      // gamma/beta gradients accumulate *across* rows: keep them serial so
+      // the accumulation order (row-ascending, as before) is fixed.
+      if (ng->requires_grad) {
+        auto& gg = ng->EnsureGrad();
+        for (int64_t r = 0; r < rr.rows; ++r) {
+          const float* in = na->data.data() + r * rr.cols;
+          const float* gy = out->grad.data() + r * rr.cols;
+          const float mean = (*means)[r];
+          const float inv_std = (*inv_stds)[r];
           for (int64_t j = 0; j < rr.cols; ++j) {
             gg[j] += gy[j] * (in[j] - mean) * inv_std;
           }
         }
-        if (nb->requires_grad) {
-          auto& gb = nb->EnsureGrad();
+      }
+      if (nb->requires_grad) {
+        auto& gb = nb->EnsureGrad();
+        for (int64_t r = 0; r < rr.rows; ++r) {
+          const float* gy = out->grad.data() + r * rr.cols;
           for (int64_t j = 0; j < rr.cols; ++j) gb[j] += gy[j];
         }
-        if (na->requires_grad) {
-          auto& ga = na->EnsureGrad();
-          // Standard layernorm backward:
-          // dx = (gamma*gy - mean(gamma*gy) - xhat*mean(gamma*gy*xhat)) * inv_std
-          float sum_g = 0.0f;
-          float sum_gx = 0.0f;
-          for (int64_t j = 0; j < rr.cols; ++j) {
-            const float xhat = (in[j] - mean) * inv_std;
-            const float g = gy[j] * ng->data[j];
-            sum_g += g;
-            sum_gx += g * xhat;
+      }
+      // dx touches disjoint rows; parallel chunks are exact.
+      if (na->requires_grad) {
+        auto& ga = na->EnsureGrad();
+        util::ParallelFor(0, rr.rows, util::GrainForCost(8 * rr.cols),
+                          [&](int64_t rb, int64_t re) {
+          for (int64_t r = rb; r < re; ++r) {
+            const float* in = na->data.data() + r * rr.cols;
+            const float* gy = out->grad.data() + r * rr.cols;
+            const float mean = (*means)[r];
+            const float inv_std = (*inv_stds)[r];
+            // Standard layernorm backward:
+            // dx = (gamma*gy - mean(gamma*gy) - xhat*mean(gamma*gy*xhat))
+            //      * inv_std
+            float sum_g = 0.0f;
+            float sum_gx = 0.0f;
+            for (int64_t j = 0; j < rr.cols; ++j) {
+              const float xhat = (in[j] - mean) * inv_std;
+              const float g = gy[j] * ng->data[j];
+              sum_g += g;
+              sum_gx += g * xhat;
+            }
+            const float inv_n = 1.0f / static_cast<float>(rr.cols);
+            for (int64_t j = 0; j < rr.cols; ++j) {
+              const float xhat = (in[j] - mean) * inv_std;
+              const float g = gy[j] * ng->data[j];
+              ga[r * rr.cols + j] +=
+                  (g - sum_g * inv_n - xhat * sum_gx * inv_n) * inv_std;
+            }
           }
-          const float inv_n = 1.0f / static_cast<float>(rr.cols);
-          for (int64_t j = 0; j < rr.cols; ++j) {
-            const float xhat = (in[j] - mean) * inv_std;
-            const float g = gy[j] * ng->data[j];
-            ga[r * rr.cols + j] +=
-                (g - sum_g * inv_n - xhat * sum_gx * inv_n) * inv_std;
-          }
-        }
+        });
       }
     };
   }
@@ -855,6 +937,15 @@ Tensor Dropout(const Tensor& a, float p, util::Rng& rng, bool training) {
   for (int64_t i = 0; i < n; ++i) {
     (*mask)[i] = rng.Bernoulli(p) ? 0.0f : keep_scale;
   }
+  return DropoutWithMask(a, std::move(mask));
+}
+
+Tensor DropoutWithMask(const Tensor& a,
+                       std::shared_ptr<const std::vector<float>> mask) {
+  CHECK(mask != nullptr);
+  const int64_t n = a.size();
+  CHECK_EQ(static_cast<int64_t>(mask->size()), n)
+      << "DropoutWithMask: mask size mismatch";
   auto node = NewNode(a.shape(), {a});
   for (int64_t i = 0; i < n; ++i) node->data[i] = a.data()[i] * (*mask)[i];
   if (node->requires_grad) {

@@ -177,7 +177,9 @@ TEST_P(AnnPropertyTest, ResultsAreValidUniqueAndOrdered) {
     for (size_t i = 0; i < hits.size(); ++i) {
       EXPECT_EQ(hits[i].id % 3, 0) << "unknown external id";
       EXPECT_TRUE(seen.insert(hits[i].id).second) << "duplicate result";
-      if (i > 0) EXPECT_GE(hits[i - 1].similarity, hits[i].similarity);
+      if (i > 0) {
+        EXPECT_GE(hits[i - 1].similarity, hits[i].similarity);
+      }
       EXPECT_GE(hits[i].similarity, -1.0f - 1e-5f);
       EXPECT_LE(hits[i].similarity, 1.0f + 1e-5f);
     }
