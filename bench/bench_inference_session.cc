@@ -1,0 +1,204 @@
+// Measures the no-grad InferenceSession serving path against the
+// tape-building eval path on the same weights: per-call Predict/Explain
+// latency (p50/p99 over a few hundred calls), heap allocations per call,
+// and the steady-state workspace-arena miss count. Emits
+// BENCH_inference.json.
+//
+// Besides timing, the run asserts the two paths are bit-identical (the
+// contract the golden tests prove in miniature) and that a warmed-up
+// no-grad Predict performs zero tensor heap allocations — every node and
+// data buffer is recycled through the per-thread arena.
+
+#include <algorithm>
+#include <cstdint>
+#include <cstring>
+#include <fstream>
+#include <iostream>
+#include <string>
+#include <vector>
+
+#include "core/explain_ti_model.h"
+#include "core/inference_session.h"
+#include "data/wiki_generator.h"
+#include "tensor/workspace.h"
+#include "util/alloc_counter.h"
+#include "util/logging.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+using namespace explainti;
+
+namespace {
+
+struct PathStats {
+  double p50_us = 0.0;
+  double p99_us = 0.0;
+  double mean_us = 0.0;
+  double allocs_per_call = 0.0;
+  int64_t arena_misses = 0;  // Meaningful for the no-grad path only.
+};
+
+double Percentile(std::vector<double> sorted_us, double q) {
+  std::sort(sorted_us.begin(), sorted_us.end());
+  const size_t idx = static_cast<size_t>(
+      q * static_cast<double>(sorted_us.size() - 1) + 0.5);
+  return sorted_us[std::min(idx, sorted_us.size() - 1)];
+}
+
+double ChecksumFloats(const std::vector<float>& v) {
+  double sum = 0.0;
+  for (float f : v) {
+    uint32_t bits;
+    std::memcpy(&bits, &f, sizeof(bits));
+    sum += static_cast<double>(bits % 9973);
+  }
+  return sum;
+}
+
+// Accumulates one path's measurements across interleaved rounds.
+class PathMeter {
+ public:
+  template <typename Call>
+  void MeasureRound(const std::vector<int>& ids, Call call) {
+    const tensor::WorkspaceStats arena_before =
+        tensor::ThisThreadWorkspaceStats();
+    const util::AllocCounts heap_before = util::ThisThreadAllocCounts();
+    for (int id : ids) {
+      util::WallTimer timer;
+      call(id);
+      lat_us_.push_back(timer.ElapsedSeconds() * 1e6);
+    }
+    const util::AllocCounts heap_after = util::ThisThreadAllocCounts();
+    const tensor::WorkspaceStats arena_after =
+        tensor::ThisThreadWorkspaceStats();
+    allocations_ += heap_after.allocations - heap_before.allocations;
+    arena_misses_ +=
+        (arena_after.node_misses - arena_before.node_misses) +
+        (arena_after.buffer_misses - arena_before.buffer_misses);
+  }
+
+  PathStats Stats() const {
+    PathStats stats;
+    double total = 0.0;
+    for (double v : lat_us_) total += v;
+    stats.mean_us = total / static_cast<double>(lat_us_.size());
+    stats.p50_us = Percentile(lat_us_, 0.50);
+    stats.p99_us = Percentile(lat_us_, 0.99);
+    stats.allocs_per_call = static_cast<double>(allocations_) /
+                            static_cast<double>(lat_us_.size());
+    stats.arena_misses = arena_misses_;
+    return stats;
+  }
+
+ private:
+  std::vector<double> lat_us_;
+  int64_t allocations_ = 0;
+  int64_t arena_misses_ = 0;
+};
+
+void EmitPath(std::ofstream& json, const char* name, const PathStats& s,
+              bool last) {
+  json << "    \"" << name << "\": {\"p50_us\": " << s.p50_us
+       << ", \"p99_us\": " << s.p99_us << ", \"mean_us\": " << s.mean_us
+       << ", \"allocations_per_call\": " << s.allocs_per_call
+       << ", \"steady_state_arena_misses\": " << s.arena_misses << "}"
+       << (last ? "\n" : ",\n");
+}
+
+}  // namespace
+
+int main() {
+  util::SetGlobalThreadCount(1);  // Per-call latency, not batch throughput.
+
+  data::WikiTableOptions options;
+  options.num_tables = 40;
+  const data::TableCorpus corpus = data::GenerateWikiTableCorpus(options);
+  core::ExplainTiConfig config;
+  config.sample_size = 4;
+  config.top_k = 3;
+  core::ExplainTiModel model(config, corpus);
+  model.RefreshStores();
+  const core::InferenceSession& session = model.session();
+
+  const core::TaskData& task = model.task_data(core::TaskKind::kType);
+  std::vector<int> ids;
+  for (int id = 0;
+       id < static_cast<int>(task.samples.size()) && ids.size() < 20; id += 2) {
+    ids.push_back(id);
+  }
+  const int kRounds = 25;  // 20 ids x 25 rounds = 500 calls per path.
+
+  // Bit-equality gate before timing: the fast path must serve exactly
+  // what the tape path serves.
+  for (int id : ids) {
+    const double tape = ChecksumFloats(
+        model.PredictProbabilities(core::TaskKind::kType, id));
+    const double nograd = ChecksumFloats(
+        session.PredictProbabilities(core::TaskKind::kType, id));
+    CHECK_EQ(tape, nograd) << "no-grad probabilities drifted on sample " << id;
+  }
+
+  auto tape_predict_call = [&](int id) { model.Predict(core::TaskKind::kType, id); };
+  auto nograd_predict_call = [&](int id) { session.Predict(core::TaskKind::kType, id); };
+  auto tape_explain_call = [&](int id) { model.Explain(core::TaskKind::kType, id); };
+  auto nograd_explain_call = [&](int id) { session.Explain(core::TaskKind::kType, id); };
+
+  // Warm-up: two full passes per path so the arena (no-grad) and the
+  // allocator reach their steady state before anything is measured.
+  for (int r = 0; r < 2; ++r) {
+    for (int id : ids) {
+      tape_predict_call(id);
+      nograd_predict_call(id);
+      tape_explain_call(id);
+      nograd_explain_call(id);
+    }
+  }
+
+  // Interleave the four measured paths round by round: this container's
+  // background load drifts on a seconds scale, and interleaving spreads
+  // that drift evenly instead of letting it bias whichever path happened
+  // to run during a slow window.
+  PathMeter tape_predict_m, nograd_predict_m, tape_explain_m,
+      nograd_explain_m;
+  for (int r = 0; r < kRounds; ++r) {
+    tape_predict_m.MeasureRound(ids, tape_predict_call);
+    nograd_predict_m.MeasureRound(ids, nograd_predict_call);
+    tape_explain_m.MeasureRound(ids, tape_explain_call);
+    nograd_explain_m.MeasureRound(ids, nograd_explain_call);
+  }
+  const PathStats tape_predict = tape_predict_m.Stats();
+  const PathStats nograd_predict = nograd_predict_m.Stats();
+  const PathStats tape_explain = tape_explain_m.Stats();
+  const PathStats nograd_explain = nograd_explain_m.Stats();
+
+  CHECK_EQ(nograd_predict.arena_misses, 0)
+      << "warmed-up no-grad Predict fell back to the heap";
+
+  const double predict_speedup = tape_predict.p50_us / nograd_predict.p50_us;
+  const double explain_speedup = tape_explain.p50_us / nograd_explain.p50_us;
+  std::cerr << "[inference] Predict tape p50=" << tape_predict.p50_us
+            << "us no-grad p50=" << nograd_predict.p50_us << "us speedup="
+            << predict_speedup << "x\n";
+  std::cerr << "[inference] Explain tape p50=" << tape_explain.p50_us
+            << "us no-grad p50=" << nograd_explain.p50_us << "us speedup="
+            << explain_speedup << "x\n";
+  std::cerr << "[inference] no-grad allocations/call: Predict="
+            << nograd_predict.allocs_per_call
+            << " (tape " << tape_predict.allocs_per_call << "), Explain="
+            << nograd_explain.allocs_per_call << " (tape "
+            << tape_explain.allocs_per_call << ")\n";
+
+  std::ofstream json("BENCH_inference.json");
+  CHECK(json.good()) << "cannot open BENCH_inference.json";
+  json << "{\n  \"calls_per_path\": " << ids.size() * kRounds
+       << ",\n  \"predict\": {\n";
+  EmitPath(json, "tape", tape_predict, false);
+  EmitPath(json, "nograd", nograd_predict, true);
+  json << "  },\n  \"predict_p50_speedup\": " << predict_speedup
+       << ",\n  \"explain\": {\n";
+  EmitPath(json, "tape", tape_explain, false);
+  EmitPath(json, "nograd", nograd_explain, true);
+  json << "  },\n  \"explain_p50_speedup\": " << explain_speedup << "\n}\n";
+  std::cerr << "[inference] wrote BENCH_inference.json\n";
+  return 0;
+}

@@ -34,6 +34,12 @@ case "$JOB" in
     (cd "$BUILD" && ./bench/bench_parallel_scaling)
     echo "BENCH_parallel.json:"
     cat "$BUILD/BENCH_parallel.json"
+    # Serving benchmark: tape vs no-grad per-call latency and allocation
+    # counts. It hard-fails if the paths' probabilities are not
+    # bit-identical or a warmed-up no-grad Predict misses the arena.
+    (cd "$BUILD" && ./bench/bench_inference_session)
+    echo "BENCH_inference.json:"
+    cat "$BUILD/BENCH_inference.json"
     ;;
   asan-ubsan)
     BUILD="$ROOT/build-ci-asan"

@@ -7,18 +7,20 @@
 #include <cstdio>
 
 #include "core/explain_ti_model.h"
+#include "core/inference_session.h"
 #include "data/wiki_generator.h"
 
 using explainti::core::ExplainTiConfig;
 using explainti::core::ExplainTiModel;
 using explainti::core::Explanation;
+using explainti::core::InferenceSession;
 using explainti::core::TaskKind;
 
 namespace {
 
-void RenderCase(const ExplainTiModel& model, int sample_id) {
-  const auto& task = model.task_data(TaskKind::kType);
-  const Explanation z = model.Explain(TaskKind::kType, sample_id);
+void RenderCase(const InferenceSession& session, int sample_id) {
+  const auto& task = session.task_data(TaskKind::kType);
+  const Explanation z = session.Explain(TaskKind::kType, sample_id);
 
   std::printf("┌─ input column ───────────────────────────────────────\n");
   std::printf("│ %s\n", task.SampleText(sample_id).c_str());
@@ -67,6 +69,7 @@ int main() {
   config.epochs = 10;
   ExplainTiModel model(config, corpus);
   model.Fit();
+  const InferenceSession& session = model.session();
 
   // Prefer a country column for the rendered case, mirroring Figure 6's
   // location.country / location.location example.
@@ -80,11 +83,11 @@ int main() {
       }
     }
     if (!is_country && rendered == 0) continue;
-    RenderCase(model, id);
+    RenderCase(session, id);
     if (++rendered == 3) break;
   }
   if (rendered == 0 && !task.test_ids.empty()) {
-    RenderCase(model, task.test_ids.front());
+    RenderCase(session, task.test_ids.front());
   }
   return 0;
 }

@@ -13,12 +13,14 @@
 #include <string>
 
 #include "core/explain_ti_model.h"
+#include "core/inference_session.h"
 #include "data/wiki_generator.h"
 #include "util/string_util.h"
 
 using explainti::core::ExplainTiConfig;
 using explainti::core::ExplainTiModel;
 using explainti::core::Explanation;
+using explainti::core::InferenceSession;
 using explainti::core::TaskKind;
 
 namespace {
@@ -41,13 +43,17 @@ int main() {
   ExplainTiModel model(config, corpus);
   model.Fit();
 
+  // Review runs on the frozen serving path: no autograd tape, and safe
+  // to fan out across steward threads.
+  const InferenceSession& session = model.session();
+
   const auto& task = model.task_data(TaskKind::kType);
   int flagged = 0;
   int correct_flags = 0;
   int shown = 0;
   std::printf("=== PII review sheet (columns flagged as person data) ===\n");
   for (int id : task.test_ids) {
-    const Explanation z = model.Explain(TaskKind::kType, id);
+    const Explanation z = session.Explain(TaskKind::kType, id);
     bool pii = false;
     std::string predicted_names;
     for (int label : z.predicted_labels) {

@@ -9,12 +9,14 @@
 #include <cstdio>
 
 #include "core/explain_ti_model.h"
+#include "core/inference_session.h"
 #include "data/wiki_generator.h"
 #include "util/timer.h"
 
 using explainti::core::ExplainTiConfig;
 using explainti::core::ExplainTiModel;
 using explainti::core::Explanation;
+using explainti::core::InferenceSession;
 using explainti::core::TaskKind;
 
 int main() {
@@ -49,11 +51,14 @@ int main() {
                 static_cast<long long>(fit.skipped_steps), fit.rollbacks);
   }
 
-  // 3. Evaluate on the held-out test split.
+  // 3. Evaluate on the held-out test split. Serving goes through the
+  // model's frozen InferenceSession: same forward, no autograd tape,
+  // arena-recycled scratch buffers, safe to share across threads.
+  const InferenceSession& session = model.session();
   const auto type_f1 =
-      model.Evaluate(TaskKind::kType, explainti::data::SplitPart::kTest);
+      session.Evaluate(TaskKind::kType, explainti::data::SplitPart::kTest);
   const auto rel_f1 =
-      model.Evaluate(TaskKind::kRelation, explainti::data::SplitPart::kTest);
+      session.Evaluate(TaskKind::kRelation, explainti::data::SplitPart::kTest);
   std::printf("column type     : F1-micro %.3f  F1-macro %.3f  F1-w %.3f\n",
               type_f1.micro, type_f1.macro, type_f1.weighted);
   std::printf("column relation : F1-micro %.3f  F1-macro %.3f  F1-w %.3f\n",
@@ -62,7 +67,7 @@ int main() {
   // 4. Explain one prediction with all three views.
   const auto& task = model.task_data(TaskKind::kType);
   const int sample_id = task.test_ids.front();
-  const Explanation z = model.Explain(TaskKind::kType, sample_id);
+  const Explanation z = session.Explain(TaskKind::kType, sample_id);
 
   std::printf("\nsample: %s\n", task.SampleText(sample_id).c_str());
   std::printf("prediction:");

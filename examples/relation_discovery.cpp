@@ -7,11 +7,13 @@
 #include <cstdio>
 
 #include "core/explain_ti_model.h"
+#include "core/inference_session.h"
 #include "data/wiki_generator.h"
 
 using explainti::core::ExplainTiConfig;
 using explainti::core::ExplainTiModel;
 using explainti::core::Explanation;
+using explainti::core::InferenceSession;
 using explainti::core::TaskKind;
 
 int main() {
@@ -25,16 +27,17 @@ int main() {
   ExplainTiModel model(config, corpus);
   model.Fit();
 
+  const InferenceSession& session = model.session();
   const auto& task = model.task_data(TaskKind::kRelation);
   const auto f1 =
-      model.Evaluate(TaskKind::kRelation, explainti::data::SplitPart::kTest);
+      session.Evaluate(TaskKind::kRelation, explainti::data::SplitPart::kTest);
   std::printf("relation prediction test F1-weighted: %.3f\n\n", f1.weighted);
 
   int shown = 0;
   int correct = 0;
   int total = 0;
   for (int id : task.test_ids) {
-    const Explanation z = model.Explain(TaskKind::kRelation, id);
+    const Explanation z = session.Explain(TaskKind::kRelation, id);
     const int predicted = z.predicted_labels.front();
     const int gold = task.samples[static_cast<size_t>(id)].labels.front();
     ++total;

@@ -285,8 +285,9 @@ std::vector<int> TransformerBaseline::DecodeLabels(
 
 std::vector<int> TransformerBaseline::Predict(core::TaskKind kind,
                                               int sample_id) const {
+  util::Rng rng(InferenceSeed(sample_id));
   tensor::Tensor logits = ForwardLogits(kind, sample_id, /*training=*/false,
-                                        inference_rng_, nullptr, nullptr);
+                                        rng, nullptr, nullptr);
   return DecodeLabels(kind, logits.ToVector());
 }
 
@@ -294,8 +295,9 @@ std::vector<float> TransformerBaseline::TokenSaliency(core::TaskKind kind,
                                                       int sample_id) const {
   tensor::Tensor embeddings;
   tensor::Tensor cls;
+  util::Rng rng(InferenceSeed(sample_id));
   tensor::Tensor logits = ForwardLogits(kind, sample_id, /*training=*/false,
-                                        inference_rng_, &embeddings, &cls);
+                                        rng, &embeddings, &cls);
   const std::vector<float> values = logits.ToVector();
   const int target = static_cast<int>(
       std::max_element(values.begin(), values.end()) - values.begin());
@@ -326,15 +328,17 @@ std::vector<float> TransformerBaseline::TokenSaliency(core::TaskKind kind,
 
 std::vector<float> TransformerBaseline::ClsEmbedding(core::TaskKind kind,
                                                      int sample_id) const {
+  util::Rng rng(InferenceSeed(sample_id));
   tensor::Tensor embeddings =
-      Encode(kind, sample_id, /*training=*/false, inference_rng_);
+      Encode(kind, sample_id, /*training=*/false, rng);
   return tensor::Row(embeddings, 0).ToVector();
 }
 
 std::vector<float> TransformerBaseline::Probabilities(core::TaskKind kind,
                                                       int sample_id) const {
+  util::Rng rng(InferenceSeed(sample_id));
   tensor::Tensor logits = ForwardLogits(kind, sample_id, /*training=*/false,
-                                        inference_rng_, nullptr, nullptr);
+                                        rng, nullptr, nullptr);
   return State(kind).data.multi_label
              ? tensor::SigmoidValues(logits.ToVector())
              : tensor::SoftmaxValues(logits.ToVector());

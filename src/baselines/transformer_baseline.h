@@ -144,6 +144,16 @@ class TransformerBaseline : public TableInterpreter {
   std::vector<int> DecodeLabels(core::TaskKind kind,
                                 const std::vector<float>& logits) const;
 
+  /// Seed for inference-time RNG state, derived per sample from the config
+  /// seed so that Predict/Probabilities/TokenSaliency are deterministic
+  /// per sample and independent of call order (eval-mode forwards never
+  /// actually draw from it — it only pins down the contract), and so that
+  /// concurrent inference calls share no mutable RNG state.
+  uint64_t InferenceSeed(int sample_id) const {
+    return config_.seed * 2654435761ULL + 999 +
+           static_cast<uint64_t>(sample_id);
+  }
+
   TransformerBaselineConfig config_;
   const data::TableCorpus* corpus_ = nullptr;  // Not owned.
   std::shared_ptr<text::Vocab> vocab_;
@@ -152,7 +162,6 @@ class TransformerBaseline : public TableInterpreter {
   std::unique_ptr<nn::TransformerEncoder> encoder_;
   std::optional<TaskState> type_state_;
   std::optional<TaskState> relation_state_;
-  mutable util::Rng inference_rng_{12345};
 };
 
 }  // namespace explainti::baselines

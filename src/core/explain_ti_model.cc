@@ -8,6 +8,7 @@
 #include <unordered_map>
 
 #include "core/checkpoint.h"
+#include "core/inference_session.h"
 #include "nn/pretrain.h"
 #include "tensor/optimizer.h"
 #include "tensor/tensor_ops.h"
@@ -119,7 +120,12 @@ ExplainTiModel::ExplainTiModel(const ExplainTiConfig& config,
     relation_heads_.global =
         std::make_unique<nn::ClassifierHead>(d, c_rel, init_rng);
   }
+
+  // -- Serving facade -----------------------------------------------------
+  session_ = std::make_unique<InferenceSession>(*this);
 }
+
+ExplainTiModel::~ExplainTiModel() = default;
 
 bool ExplainTiModel::HasTask(TaskKind kind) const {
   return kind == TaskKind::kType ? type_task_.has_value()
@@ -173,10 +179,12 @@ std::vector<tensor::Tensor> ExplainTiModel::AllParameters() const {
 
 ExplainTiModel::Forward ExplainTiModel::RunForward(TaskKind kind,
                                                    int sample_id,
-                                                   bool training,
-                                                   util::Rng& rng,
+                                                   const nn::ExecContext& ctx,
                                                    bool with_local,
                                                    bool with_global) const {
+  CHECK(ctx.rng != nullptr) << "RunForward requires an RNG (dropout and SE "
+                               "neighbour sampling draw from it)";
+  util::Rng& rng = *ctx.rng;
   const TaskData& task = Task(kind);
   CHECK(sample_id >= 0 &&
         sample_id < static_cast<int>(task.samples.size()));
@@ -186,7 +194,7 @@ ExplainTiModel::Forward ExplainTiModel::RunForward(TaskKind kind,
 
   Forward fwd;
   fwd.embeddings =
-      encoder_->Forward(sample.seq.ids, sample.seq.segments, training, rng);
+      encoder_->Forward(sample.seq.ids, sample.seq.segments, ctx);
   fwd.cls = tensor::Row(fwd.embeddings, 0);
   const int len = static_cast<int>(sample.seq.ids.size());
 
@@ -482,24 +490,16 @@ tensor::Tensor ExplainTiModel::ComputeLoss(TaskKind kind,
 
 void ExplainTiModel::RebuildStore(TaskKind kind) {
   const TaskData& task = Task(kind);
-  const int64_t n = static_cast<int64_t>(task.train_ids.size());
   std::vector<int> ids(task.train_ids.begin(), task.train_ids.end());
-  std::vector<std::vector<float>> embeddings(static_cast<size_t>(n));
-  // Eval-mode encoding never touches the RNG (no dropout), and every
-  // sample writes only its own slot, so batched encoding fans out across
-  // the pool with results identical to the serial loop.
-  util::ParallelFor(0, n, 1, [&](int64_t ib, int64_t ie) {
-    util::Rng rng(config_.seed + 555);  // Per-chunk instance; unused.
-    for (int64_t i = ib; i < ie; ++i) {
-      const TaskSample& sample =
-          task.samples[static_cast<size_t>(ids[static_cast<size_t>(i)])];
-      tensor::Tensor hidden = encoder_->Forward(sample.seq.ids,
-                                                sample.seq.segments,
-                                                /*training=*/false, rng);
-      embeddings[static_cast<size_t>(i)] = tensor::Row(hidden, 0).ToVector();
-    }
-  });
-  Store(kind).Rebuild(ids, embeddings);
+  // No-grad encoding is bit-identical to the eval tape, so the store
+  // contents match what the serial tape loop would have produced.
+  Store(kind).Rebuild(ids, session_->EncodeBatch(kind, ids));
+}
+
+void ExplainTiModel::RefreshStores() {
+  if (!config_.use_global && !config_.use_structural) return;
+  RebuildStore(TaskKind::kType);
+  if (relation_task_.has_value()) RebuildStore(TaskKind::kRelation);
 }
 
 // ---------------------------------------------------------------------------
@@ -651,7 +651,7 @@ FitStats ExplainTiModel::Fit() {
       int in_batch = 0;
       for (size_t i = 0; i < order.size(); ++i) {
         const int id = order[i];
-        Forward fwd = RunForward(kind, id, /*training=*/true, train_rng);
+        Forward fwd = RunForward(kind, id, nn::ExecContext::Train(train_rng));
         tensor::Tensor loss = ComputeLoss(
             kind, task.samples[static_cast<size_t>(id)], fwd);
         loss = tensor::Scale(loss,
@@ -798,9 +798,11 @@ std::vector<int> ExplainTiModel::DecodeLabels(
 std::vector<int> ExplainTiModel::Predict(TaskKind kind, int sample_id) const {
   // Fast path: LE/GE do not change the final logits; skip them via the
   // explicit-flags forward (no shared-state mutation, so concurrent
-  // Predict calls from Evaluate's parallel loop are safe).
+  // Predict calls from Evaluate's parallel loop are safe). This is the
+  // tape-building reference path the golden tests compare the no-grad
+  // InferenceSession against.
   util::Rng rng(InferenceSeed(sample_id));
-  Forward fwd = RunForward(kind, sample_id, /*training=*/false, rng,
+  Forward fwd = RunForward(kind, sample_id, nn::ExecContext::Eval(&rng),
                            /*with_local=*/false, /*with_global=*/false);
   return DecodeLabels(kind, fwd.final_logits.ToVector());
 }
@@ -808,7 +810,7 @@ std::vector<int> ExplainTiModel::Predict(TaskKind kind, int sample_id) const {
 std::vector<float> ExplainTiModel::PredictProbabilities(TaskKind kind,
                                                         int sample_id) const {
   util::Rng rng(InferenceSeed(sample_id));
-  Forward fwd = RunForward(kind, sample_id, /*training=*/false, rng,
+  Forward fwd = RunForward(kind, sample_id, nn::ExecContext::Eval(&rng),
                            /*with_local=*/false, /*with_global=*/false);
   const TaskData& task = Task(kind);
   return task.multi_label
@@ -818,7 +820,11 @@ std::vector<float> ExplainTiModel::PredictProbabilities(TaskKind kind,
 
 Explanation ExplainTiModel::Explain(TaskKind kind, int sample_id) const {
   util::Rng rng(InferenceSeed(sample_id));
-  Forward fwd = RunForward(kind, sample_id, /*training=*/false, rng);
+  Forward fwd = RunForward(kind, sample_id, nn::ExecContext::Eval(&rng));
+  return MakeExplanation(kind, std::move(fwd));
+}
+
+Explanation ExplainTiModel::MakeExplanation(TaskKind kind, Forward fwd) const {
   Explanation z;
   z.predicted_labels = DecodeLabels(kind, fwd.final_logits.ToVector());
   const TaskData& task = Task(kind);
@@ -894,42 +900,15 @@ util::Status ExplainTiModel::LoadWeights(const std::string& path) {
   for (size_t i = 0; i < params.size(); ++i) {
     std::copy(staged[i].begin(), staged[i].end(), params[i].data());
   }
-  if (config_.use_global || config_.use_structural) {
-    RebuildStore(TaskKind::kType);
-    if (relation_task_.has_value()) RebuildStore(TaskKind::kRelation);
-  }
+  RefreshStores();
   return util::Status::OK();
 }
 
 eval::F1Scores ExplainTiModel::Evaluate(TaskKind kind,
                                         data::SplitPart part) const {
-  const TaskData& task = Task(kind);
-  const std::vector<int>* ids = nullptr;
-  switch (part) {
-    case data::SplitPart::kTrain:
-      ids = &task.train_ids;
-      break;
-    case data::SplitPart::kValid:
-      ids = &task.valid_ids;
-      break;
-    case data::SplitPart::kTest:
-      ids = &task.test_ids;
-      break;
-  }
-  // Predict seeds a per-sample RNG (InferenceSeed) and mutates no model
-  // state, so samples evaluate concurrently with the same predictions the
-  // serial loop produced.
-  std::vector<eval::LabeledPrediction> predictions(ids->size());
-  util::ParallelFor(
-      0, static_cast<int64_t>(ids->size()), 1, [&](int64_t ib, int64_t ie) {
-        for (int64_t i = ib; i < ie; ++i) {
-          const int id = (*ids)[static_cast<size_t>(i)];
-          eval::LabeledPrediction& p = predictions[static_cast<size_t>(i)];
-          p.gold = task.samples[static_cast<size_t>(id)].labels;
-          p.predicted = Predict(kind, id);
-        }
-      });
-  return eval::ComputeF1(predictions, task.num_labels);
+  // Routed through the no-grad session: bit-identical predictions to the
+  // tape path, without paying for tape construction per sample.
+  return session_->Evaluate(kind, part);
 }
 
 }  // namespace explainti::core

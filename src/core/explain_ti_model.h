@@ -13,6 +13,7 @@
 #include "data/corpus.h"
 #include "eval/f1_metrics.h"
 #include "nn/encoder.h"
+#include "nn/exec_context.h"
 #include "nn/heads.h"
 #include "text/serializer.h"
 #include "text/tokenizer.h"
@@ -21,6 +22,8 @@
 #include "util/status.h"
 
 namespace explainti::core {
+
+class InferenceSession;
 
 /// Wall-clock accounting of a Fit() run (Table V), plus the recovery
 /// events the hardened trainer survived.
@@ -63,6 +66,7 @@ class ExplainTiModel {
 
   ExplainTiModel(const ExplainTiModel&) = delete;
   ExplainTiModel& operator=(const ExplainTiModel&) = delete;
+  ~ExplainTiModel();
 
   /// Runs the full pipeline: MLM pre-training, embedding-store
   /// initialisation, and multi-task fine-tuning with epoch-level task
@@ -73,14 +77,28 @@ class ExplainTiModel {
   /// database-table corpora)?
   bool HasTask(TaskKind kind) const;
 
-  /// Test/valid/train F1 for one task.
+  /// Test/valid/train F1 for one task. Routed through the no-grad
+  /// InferenceSession (bit-identical to the tape path).
   eval::F1Scores Evaluate(TaskKind kind, data::SplitPart part) const;
 
-  /// Predicted label ids for one sample (no explanation overhead).
+  /// Predicted label ids for one sample (no explanation overhead). This is
+  /// the tape-building reference path; serving should go through
+  /// session() instead.
   std::vector<int> Predict(TaskKind kind, int sample_id) const;
 
-  /// Prediction plus the multi-view explanation set Z.
+  /// Prediction plus the multi-view explanation set Z (tape-building
+  /// reference path; see session()).
   Explanation Explain(TaskKind kind, int sample_id) const;
+
+  /// The frozen no-grad serving facade over this model's current weights.
+  /// Valid for the model's lifetime; weights-mutating calls (Fit,
+  /// LoadWeights) must not run concurrently with session use.
+  const InferenceSession& session() const { return *session_; }
+
+  /// Re-encodes all training samples and rebuilds the embedding stores
+  /// from the current weights (serving-time refresh; also lets tests and
+  /// benches populate stores without a full Fit()).
+  void RefreshStores();
 
   const TaskData& task_data(TaskKind kind) const;
   const ExplainTiConfig& config() const { return config_; }
@@ -100,6 +118,8 @@ class ExplainTiModel {
   util::Status LoadWeights(const std::string& path);
 
  private:
+  friend class InferenceSession;
+
   /// Trainable heads for one task.
   struct TaskHeads {
     std::unique_ptr<nn::ClassifierHead> base;        // Eq. 1 (w/o SE).
@@ -131,19 +151,23 @@ class ExplainTiModel {
   EmbeddingStore& Store(TaskKind kind);
   const EmbeddingStore& Store(TaskKind kind) const;
 
-  /// Full forward pass for `sample_id`; `training` enables dropout,
-  /// GE self-exclusion and SE neighbour sampling noise. The four-argument
-  /// form runs with the configured explanation modules; the explicit form
-  /// lets Predict() skip LE/GE (they never change the final logits)
-  /// without mutating shared state, which keeps concurrent Evaluate()
-  /// calls race-free.
-  Forward RunForward(TaskKind kind, int sample_id, bool training,
-                     util::Rng& rng) const {
-    return RunForward(kind, sample_id, training, rng, config_.use_local,
+  /// Full forward pass for `sample_id`. `ctx` selects the execution path
+  /// (train tape / eval tape / no-grad inference) and carries the RNG used
+  /// for dropout and SE neighbour sampling. The three-argument form runs
+  /// with the configured explanation modules; the explicit form lets
+  /// Predict() skip LE/GE (they never change the final logits) without
+  /// mutating shared state, which keeps concurrent Evaluate() calls
+  /// race-free.
+  Forward RunForward(TaskKind kind, int sample_id,
+                     const nn::ExecContext& ctx) const {
+    return RunForward(kind, sample_id, ctx, config_.use_local,
                       config_.use_global);
   }
-  Forward RunForward(TaskKind kind, int sample_id, bool training,
-                     util::Rng& rng, bool with_local, bool with_global) const;
+  Forward RunForward(TaskKind kind, int sample_id, const nn::ExecContext& ctx,
+                     bool with_local, bool with_global) const;
+
+  /// Assembles the public Explanation record from a full Forward.
+  Explanation MakeExplanation(TaskKind kind, Forward fwd) const;
 
   /// Builds the per-sample joint loss (Eq. 11) from a Forward.
   tensor::Tensor ComputeLoss(TaskKind kind, const TaskSample& sample,
@@ -181,6 +205,9 @@ class ExplainTiModel {
 
   EmbeddingStore type_store_;
   EmbeddingStore relation_store_;
+
+  // Created in the constructor; borrows *this (never null afterwards).
+  std::unique_ptr<InferenceSession> session_;
 };
 
 }  // namespace explainti::core

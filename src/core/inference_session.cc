@@ -1,0 +1,101 @@
+#include "core/inference_session.h"
+
+#include "nn/exec_context.h"
+#include "tensor/tensor_ops.h"
+#include "tensor/workspace.h"
+#include "util/logging.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace explainti::core {
+
+std::vector<int> InferenceSession::Predict(TaskKind kind,
+                                           int sample_id) const {
+  tensor::InferenceModeGuard guard;
+  util::Rng rng(model_->InferenceSeed(sample_id));
+  ExplainTiModel::Forward fwd =
+      model_->RunForward(kind, sample_id, nn::ExecContext::Inference(&rng),
+                         /*with_local=*/false, /*with_global=*/false);
+  return model_->DecodeLabels(kind, fwd.final_logits.ToVector());
+}
+
+std::vector<float> InferenceSession::PredictProbabilities(
+    TaskKind kind, int sample_id) const {
+  tensor::InferenceModeGuard guard;
+  util::Rng rng(model_->InferenceSeed(sample_id));
+  ExplainTiModel::Forward fwd =
+      model_->RunForward(kind, sample_id, nn::ExecContext::Inference(&rng),
+                         /*with_local=*/false, /*with_global=*/false);
+  const TaskData& task = model_->Task(kind);
+  return task.multi_label
+             ? tensor::SigmoidValues(fwd.final_logits.ToVector())
+             : tensor::SoftmaxValues(fwd.final_logits.ToVector());
+}
+
+Explanation InferenceSession::Explain(TaskKind kind, int sample_id) const {
+  tensor::InferenceModeGuard guard;
+  util::Rng rng(model_->InferenceSeed(sample_id));
+  ExplainTiModel::Forward fwd =
+      model_->RunForward(kind, sample_id, nn::ExecContext::Inference(&rng));
+  return model_->MakeExplanation(kind, std::move(fwd));
+}
+
+std::vector<std::vector<float>> InferenceSession::EncodeBatch(
+    TaskKind kind, const std::vector<int>& sample_ids) const {
+  const TaskData& task = model_->Task(kind);
+  std::vector<std::vector<float>> embeddings(sample_ids.size());
+  // Every sample writes only its own slot, and no-grad encoding is
+  // bit-identical to the eval tape, so batched encoding fans out across
+  // the pool with results identical to the serial tape loop. The guard is
+  // per-chunk: inference mode is thread-local, so each executing thread
+  // arms its own flag and allocates from its own workspace.
+  util::ParallelFor(
+      0, static_cast<int64_t>(sample_ids.size()), 1,
+      [&](int64_t ib, int64_t ie) {
+        tensor::InferenceModeGuard guard;
+        for (int64_t i = ib; i < ie; ++i) {
+          const int id = sample_ids[static_cast<size_t>(i)];
+          CHECK(id >= 0 && id < static_cast<int>(task.samples.size()));
+          const TaskSample& sample = task.samples[static_cast<size_t>(id)];
+          tensor::Tensor hidden =
+              model_->encoder_->Forward(sample.seq.ids, sample.seq.segments,
+                                        nn::ExecContext::Inference());
+          embeddings[static_cast<size_t>(i)] =
+              tensor::Row(hidden, 0).ToVector();
+        }
+      });
+  return embeddings;
+}
+
+eval::F1Scores InferenceSession::Evaluate(TaskKind kind,
+                                          data::SplitPart part) const {
+  const TaskData& task = model_->Task(kind);
+  const std::vector<int>* ids = nullptr;
+  switch (part) {
+    case data::SplitPart::kTrain:
+      ids = &task.train_ids;
+      break;
+    case data::SplitPart::kValid:
+      ids = &task.valid_ids;
+      break;
+    case data::SplitPart::kTest:
+      ids = &task.test_ids;
+      break;
+  }
+  // Predict seeds a per-sample RNG (InferenceSeed) and mutates no model
+  // state, so samples evaluate concurrently with the same predictions the
+  // serial loop produced.
+  std::vector<eval::LabeledPrediction> predictions(ids->size());
+  util::ParallelFor(
+      0, static_cast<int64_t>(ids->size()), 1, [&](int64_t ib, int64_t ie) {
+        for (int64_t i = ib; i < ie; ++i) {
+          const int id = (*ids)[static_cast<size_t>(i)];
+          eval::LabeledPrediction& p = predictions[static_cast<size_t>(i)];
+          p.gold = task.samples[static_cast<size_t>(id)].labels;
+          p.predicted = Predict(kind, id);
+        }
+      });
+  return eval::ComputeF1(predictions, task.num_labels);
+}
+
+}  // namespace explainti::core

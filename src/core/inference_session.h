@@ -1,0 +1,74 @@
+#ifndef EXPLAINTI_CORE_INFERENCE_SESSION_H_
+#define EXPLAINTI_CORE_INFERENCE_SESSION_H_
+
+#include <vector>
+
+#include "core/config.h"
+#include "core/explain_ti_model.h"
+#include "core/explanation.h"
+#include "core/task_data.h"
+#include "data/corpus.h"
+#include "eval/f1_metrics.h"
+
+namespace explainti::core {
+
+/// Frozen, read-only serving facade over a trained ExplainTiModel.
+///
+/// Every call runs the no-grad execution path: an InferenceModeGuard on
+/// the executing thread makes the tensor ops skip the autograd tape and
+/// draw scratch storage from the per-thread Workspace arena, so a
+/// warmed-up Predict performs zero tensor heap allocations. Outputs are
+/// bit-identical to the model's tape-building Predict/Explain.
+///
+/// All methods are const and touch no mutable model state (per-call RNGs
+/// are derived from ExplainTiModel::InferenceSeed), so one session may be
+/// shared across threads serving concurrent requests. The only contract
+/// is lifetime/ordering: the model must outlive the session, and
+/// weights-mutating calls (Fit, LoadWeights) must not run concurrently
+/// with session use. Obtain a session via ExplainTiModel::session(), e.g.
+/// after LoadWeights:
+///
+///   ExplainTiModel model(config, corpus);
+///   CHECK(model.LoadWeights(path).ok());
+///   const InferenceSession& session = model.session();
+///   std::vector<int> labels = session.Predict(TaskKind::kType, id);
+///   Explanation z = session.Explain(TaskKind::kType, id);
+class InferenceSession {
+ public:
+  explicit InferenceSession(const ExplainTiModel& model) : model_(&model) {}
+
+  InferenceSession(const InferenceSession&) = delete;
+  InferenceSession& operator=(const InferenceSession&) = delete;
+
+  bool HasTask(TaskKind kind) const { return model_->HasTask(kind); }
+  const ExplainTiConfig& config() const { return model_->config(); }
+  const TaskData& task_data(TaskKind kind) const {
+    return model_->task_data(kind);
+  }
+
+  /// Predicted label ids for one sample (no explanation overhead).
+  std::vector<int> Predict(TaskKind kind, int sample_id) const;
+
+  /// Per-label sigma outputs for one sample (probabilities).
+  std::vector<float> PredictProbabilities(TaskKind kind, int sample_id) const;
+
+  /// Prediction plus the multi-view explanation set Z.
+  Explanation Explain(TaskKind kind, int sample_id) const;
+
+  /// [CLS] embeddings for `sample_ids`, encoded in parallel across the
+  /// pool (each worker under its own guard/workspace). Feeds the GE/SE
+  /// embedding-store rebuilds.
+  std::vector<std::vector<float>> EncodeBatch(
+      TaskKind kind, const std::vector<int>& sample_ids) const;
+
+  /// Test/valid/train F1 for one task, predictions fanned out across the
+  /// pool.
+  eval::F1Scores Evaluate(TaskKind kind, data::SplitPart part) const;
+
+ private:
+  const ExplainTiModel* model_;
+};
+
+}  // namespace explainti::core
+
+#endif  // EXPLAINTI_CORE_INFERENCE_SESSION_H_

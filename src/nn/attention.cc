@@ -29,6 +29,13 @@ tensor::Tensor MultiHeadSelfAttention::Forward(const tensor::Tensor& x,
                                                const tensor::Tensor& mask,
                                                bool training,
                                                util::Rng& rng) const {
+  return Forward(x, mask,
+                 training ? ExecContext::Train(rng) : ExecContext::Eval(&rng));
+}
+
+tensor::Tensor MultiHeadSelfAttention::Forward(const tensor::Tensor& x,
+                                               const tensor::Tensor& mask,
+                                               const ExecContext& ctx) const {
   const int64_t head_dim = config_.d_model / config_.num_heads;
   const float scale = 1.0f / std::sqrt(static_cast<float>(head_dim));
 
@@ -41,16 +48,17 @@ tensor::Tensor MultiHeadSelfAttention::Forward(const tensor::Tensor& x,
   // so the RNG stream (and with it every training numeric) is independent
   // of how many threads then apply them.
   const int64_t len = x.dim(0);
-  const bool use_dropout = training && config_.dropout > 0.0f;
+  const bool use_dropout = ctx.training() && config_.dropout > 0.0f;
   std::vector<std::shared_ptr<const std::vector<float>>> dropout_masks;
   if (use_dropout) {
+    CHECK(ctx.rng != nullptr) << "attention dropout requires an RNG";
     const float keep_scale = 1.0f / (1.0f - config_.dropout);
     dropout_masks.reserve(static_cast<size_t>(config_.num_heads));
     for (int64_t h = 0; h < config_.num_heads; ++h) {
       auto head_mask =
           std::make_shared<std::vector<float>>(static_cast<size_t>(len * len));
       for (float& m : *head_mask) {
-        m = rng.Bernoulli(config_.dropout) ? 0.0f : keep_scale;
+        m = ctx.rng->Bernoulli(config_.dropout) ? 0.0f : keep_scale;
       }
       dropout_masks.push_back(std::move(head_mask));
     }
@@ -61,7 +69,7 @@ tensor::Tensor MultiHeadSelfAttention::Forward(const tensor::Tensor& x,
   // the result) is identical to the serial per-head loop.
   std::vector<tensor::Tensor> head_outputs(
       static_cast<size_t>(config_.num_heads));
-  util::ParallelFor(0, config_.num_heads, 1, [&](int64_t hb, int64_t he) {
+  auto run_heads = [&](int64_t hb, int64_t he) {
     for (int64_t h = hb; h < he; ++h) {
       const int64_t lo = h * head_dim;
       const int64_t hi = lo + head_dim;
@@ -81,7 +89,16 @@ tensor::Tensor MultiHeadSelfAttention::Forward(const tensor::Tensor& x,
       }
       head_outputs[static_cast<size_t>(h)] = tensor::MatMul(attn, vh);
     }
-  });
+  };
+  if (ctx.inference()) {
+    // Inference mode is a thread-local property: pool workers would not
+    // see this thread's guard (or its workspace), so the head loop runs on
+    // the calling thread. Per the determinism contract the serial loop is
+    // bit-identical to the chunked one; the matmuls inside still fan out.
+    run_heads(0, config_.num_heads);
+  } else {
+    util::ParallelFor(0, config_.num_heads, 1, run_heads);
+  }
 
   tensor::Tensor context = tensor::ConcatCols(head_outputs);
   return wo_.Forward(context);

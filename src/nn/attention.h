@@ -1,6 +1,7 @@
 #ifndef EXPLAINTI_NN_ATTENTION_H_
 #define EXPLAINTI_NN_ATTENTION_H_
 
+#include "nn/exec_context.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 #include "nn/transformer_config.h"
@@ -20,6 +21,10 @@ class MultiHeadSelfAttention : public Module {
   MultiHeadSelfAttention(const TransformerConfig& config, util::Rng& rng);
 
   /// x: [L, d] -> [L, d]. `mask` may be undefined (no masking).
+  tensor::Tensor Forward(const tensor::Tensor& x, const tensor::Tensor& mask,
+                         const ExecContext& ctx) const;
+
+  /// Legacy entry point; forwards to the ExecContext overload.
   tensor::Tensor Forward(const tensor::Tensor& x, const tensor::Tensor& mask,
                          bool training, util::Rng& rng) const;
 

@@ -38,6 +38,13 @@ tensor::Tensor TransformerEmbeddings::Forward(const std::vector<int>& ids,
                                               const std::vector<int>& segments,
                                               bool training,
                                               util::Rng& rng) const {
+  return Forward(ids, segments,
+                 training ? ExecContext::Train(rng) : ExecContext::Eval(&rng));
+}
+
+tensor::Tensor TransformerEmbeddings::Forward(const std::vector<int>& ids,
+                                              const std::vector<int>& segments,
+                                              const ExecContext& ctx) const {
   const int64_t len = static_cast<int64_t>(ids.size());
   CHECK_GT(len, 0);
   CHECK_LE(len, config_.max_len)
@@ -55,7 +62,7 @@ tensor::Tensor TransformerEmbeddings::Forward(const std::vector<int>& ids,
   }
 
   x = tensor::LayerNorm(x, ln_gamma_, ln_beta_);
-  return tensor::Dropout(x, config_.dropout, rng, training);
+  return ApplyDropout(x, config_.dropout, ctx);
 }
 
 }  // namespace explainti::nn

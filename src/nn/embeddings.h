@@ -3,6 +3,7 @@
 
 #include <vector>
 
+#include "nn/exec_context.h"
 #include "nn/module.h"
 #include "nn/transformer_config.h"
 #include "tensor/tensor.h"
@@ -18,6 +19,11 @@ class TransformerEmbeddings : public Module {
 
   /// Embeds a token-id sequence. `segments` may be empty (all zeros) and is
   /// ignored when the config disables segment embeddings. Returns [L, d].
+  tensor::Tensor Forward(const std::vector<int>& ids,
+                         const std::vector<int>& segments,
+                         const ExecContext& ctx) const;
+
+  /// Legacy entry point; forwards to the ExecContext overload.
   tensor::Tensor Forward(const std::vector<int>& ids,
                          const std::vector<int>& segments, bool training,
                          util::Rng& rng) const;

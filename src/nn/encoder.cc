@@ -1,6 +1,8 @@
 #include "nn/encoder.h"
 
 #include "tensor/tensor_ops.h"
+#include "tensor/workspace.h"
+#include "util/logging.h"
 
 namespace explainti::nn {
 
@@ -21,13 +23,20 @@ EncoderLayer::EncoderLayer(const TransformerConfig& config, util::Rng& rng)
 tensor::Tensor EncoderLayer::Forward(const tensor::Tensor& x,
                                      const tensor::Tensor& mask, bool training,
                                      util::Rng& rng) const {
-  tensor::Tensor attn = attention_.Forward(x, mask, training, rng);
-  attn = tensor::Dropout(attn, config_.dropout, rng, training);
+  return Forward(x, mask,
+                 training ? ExecContext::Train(rng) : ExecContext::Eval(&rng));
+}
+
+tensor::Tensor EncoderLayer::Forward(const tensor::Tensor& x,
+                                     const tensor::Tensor& mask,
+                                     const ExecContext& ctx) const {
+  tensor::Tensor attn = attention_.Forward(x, mask, ctx);
+  attn = ApplyDropout(attn, config_.dropout, ctx);
   tensor::Tensor h =
       tensor::LayerNorm(tensor::Add(x, attn), ln1_gamma_, ln1_beta_);
 
   tensor::Tensor ffn = ffn_out_.Forward(tensor::Gelu(ffn_in_.Forward(h)));
-  ffn = tensor::Dropout(ffn, config_.dropout, rng, training);
+  ffn = ApplyDropout(ffn, config_.dropout, ctx);
   return tensor::LayerNorm(tensor::Add(h, ffn), ln2_gamma_, ln2_beta_);
 }
 
@@ -46,9 +55,22 @@ tensor::Tensor TransformerEncoder::Forward(const std::vector<int>& ids,
                                            const std::vector<int>& segments,
                                            bool training, util::Rng& rng,
                                            const tensor::Tensor& mask) const {
-  tensor::Tensor x = embeddings_.Forward(ids, segments, training, rng);
+  return Forward(ids, segments,
+                 training ? ExecContext::Train(rng) : ExecContext::Eval(&rng),
+                 mask);
+}
+
+tensor::Tensor TransformerEncoder::Forward(const std::vector<int>& ids,
+                                           const std::vector<int>& segments,
+                                           const ExecContext& ctx,
+                                           const tensor::Tensor& mask) const {
+  CHECK(!ctx.training() || ctx.rng != nullptr)
+      << "training forward requires an RNG";
+  CHECK(!ctx.inference() || tensor::InferenceModeActive())
+      << "ExecMode::kInference requires an InferenceModeGuard on this thread";
+  tensor::Tensor x = embeddings_.Forward(ids, segments, ctx);
   for (const auto& layer : layers_) {
-    x = layer->Forward(x, mask, training, rng);
+    x = layer->Forward(x, mask, ctx);
   }
   return x;
 }

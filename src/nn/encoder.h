@@ -6,6 +6,7 @@
 
 #include "nn/attention.h"
 #include "nn/embeddings.h"
+#include "nn/exec_context.h"
 #include "nn/linear.h"
 #include "nn/module.h"
 #include "nn/transformer_config.h"
@@ -20,6 +21,10 @@ class EncoderLayer : public Module {
  public:
   EncoderLayer(const TransformerConfig& config, util::Rng& rng);
 
+  tensor::Tensor Forward(const tensor::Tensor& x, const tensor::Tensor& mask,
+                         const ExecContext& ctx) const;
+
+  /// Legacy entry point; forwards to the ExecContext overload.
   tensor::Tensor Forward(const tensor::Tensor& x, const tensor::Tensor& mask,
                          bool training, util::Rng& rng) const;
 
@@ -41,7 +46,15 @@ class TransformerEncoder : public Module {
   TransformerEncoder(const TransformerConfig& config, util::Rng& rng);
 
   /// Encodes one sequence. `segments` may be empty; `mask` (optional,
-  /// [L, L] additive) supports structure-aware baselines.
+  /// [L, L] additive) supports structure-aware baselines. In
+  /// ExecMode::kInference the caller must hold a tensor::InferenceModeGuard
+  /// on this thread; outputs are bit-identical to ExecMode::kEval.
+  tensor::Tensor Forward(const std::vector<int>& ids,
+                         const std::vector<int>& segments,
+                         const ExecContext& ctx,
+                         const tensor::Tensor& mask = tensor::Tensor()) const;
+
+  /// Legacy entry point; forwards to the ExecContext overload.
   tensor::Tensor Forward(const std::vector<int>& ids,
                          const std::vector<int>& segments, bool training,
                          util::Rng& rng,

@@ -1,0 +1,20 @@
+#include "nn/exec_context.h"
+
+#include "tensor/tensor_ops.h"
+#include "util/logging.h"
+
+namespace explainti::nn {
+
+tensor::Tensor ApplyDropout(const tensor::Tensor& x, float p,
+                            const ExecContext& ctx) {
+  if (ctx.training()) {
+    CHECK(ctx.rng != nullptr) << "training dropout requires an RNG";
+    return tensor::Dropout(x, p, *ctx.rng, /*training=*/true);
+  }
+  if (ctx.inference()) return x;
+  // Tape-eval: keep the identity node the legacy path built so eval graphs
+  // (and anything walking them) are unchanged.
+  return tensor::Scale(x, 1.0f);
+}
+
+}  // namespace explainti::nn

@@ -1,0 +1,52 @@
+#ifndef EXPLAINTI_NN_EXEC_CONTEXT_H_
+#define EXPLAINTI_NN_EXEC_CONTEXT_H_
+
+#include "tensor/tensor.h"
+#include "util/rng.h"
+
+namespace explainti::nn {
+
+/// How a forward pass executes.
+enum class ExecMode {
+  /// Builds the autograd tape; dropout active. Requires an RNG.
+  kTrain,
+  /// Builds the tape (no Backward expected) with dropout disabled as
+  /// identity ops — the historical eval path, kept byte-for-byte.
+  kEval,
+  /// No-grad: ops skip the tape and draw storage from the per-thread
+  /// Workspace arena. Requires an active tensor::InferenceModeGuard on the
+  /// executing thread. Bit-identical outputs to kEval.
+  kInference,
+};
+
+/// Execution context threaded through the encoder stack: mode + RNG. The
+/// scratch arena is not carried here — it is per-thread (see
+/// tensor/workspace.h), so the context stays trivially copyable and safe
+/// to share across the threads of a parallel region.
+struct ExecContext {
+  ExecMode mode = ExecMode::kEval;
+  util::Rng* rng = nullptr;
+
+  static ExecContext Train(util::Rng& rng) {
+    return ExecContext{ExecMode::kTrain, &rng};
+  }
+  static ExecContext Eval(util::Rng* rng = nullptr) {
+    return ExecContext{ExecMode::kEval, rng};
+  }
+  static ExecContext Inference(util::Rng* rng = nullptr) {
+    return ExecContext{ExecMode::kInference, rng};
+  }
+
+  bool training() const { return mode == ExecMode::kTrain; }
+  bool inference() const { return mode == ExecMode::kInference; }
+};
+
+/// Dropout dispatch on the execution mode: real dropout when training, the
+/// legacy identity node in tape-eval (keeps eval graphs unchanged), and a
+/// plain pass-through off-tape.
+tensor::Tensor ApplyDropout(const tensor::Tensor& x, float p,
+                            const ExecContext& ctx);
+
+}  // namespace explainti::nn
+
+#endif  // EXPLAINTI_NN_EXEC_CONTEXT_H_

@@ -1,8 +1,10 @@
 #include "tensor/tensor.h"
 
+#include <algorithm>
 #include <sstream>
 #include <unordered_set>
 
+#include "tensor/workspace.h"
 #include "util/logging.h"
 
 namespace explainti::tensor {
@@ -35,11 +37,9 @@ std::vector<float>& Node::EnsureGrad() {
 
 namespace {
 
-std::shared_ptr<internal::Node> MakeLeaf(const Shape& shape) {
-  auto node = std::make_shared<internal::Node>();
-  node->shape = shape;
-  node->data.assign(static_cast<size_t>(NumElements(shape)), 0.0f);
-  return node;
+std::shared_ptr<internal::Node> MakeLeaf(const Shape& shape,
+                                         bool zero_init = true) {
+  return internal::AllocNode(shape, zero_init);
 }
 
 }  // namespace
@@ -47,7 +47,7 @@ std::shared_ptr<internal::Node> MakeLeaf(const Shape& shape) {
 Tensor Tensor::Zeros(const Shape& shape) { return Tensor(MakeLeaf(shape)); }
 
 Tensor Tensor::Full(const Shape& shape, float value) {
-  auto node = MakeLeaf(shape);
+  auto node = MakeLeaf(shape, /*zero_init=*/false);
   for (float& v : node->data) v = value;
   return Tensor(node);
 }
@@ -56,19 +56,19 @@ Tensor Tensor::FromVector(const Shape& shape,
                           const std::vector<float>& values) {
   CHECK_EQ(static_cast<int64_t>(values.size()), NumElements(shape))
       << "FromVector size mismatch for shape " << ShapeToString(shape);
-  auto node = MakeLeaf(shape);
-  node->data = values;
+  auto node = MakeLeaf(shape, /*zero_init=*/false);
+  std::copy(values.begin(), values.end(), node->data.begin());
   return Tensor(node);
 }
 
 Tensor Tensor::Scalar(float value) {
-  auto node = MakeLeaf({});
+  auto node = MakeLeaf({}, /*zero_init=*/false);
   node->data[0] = value;
   return Tensor(node);
 }
 
 Tensor Tensor::Randn(const Shape& shape, util::Rng& rng, float stddev) {
-  auto node = MakeLeaf(shape);
+  auto node = MakeLeaf(shape, /*zero_init=*/false);
   for (float& v : node->data) {
     v = static_cast<float>(rng.Normal(0.0, stddev));
   }
@@ -76,7 +76,7 @@ Tensor Tensor::Randn(const Shape& shape, util::Rng& rng, float stddev) {
 }
 
 Tensor Tensor::RandUniform(const Shape& shape, util::Rng& rng, float bound) {
-  auto node = MakeLeaf(shape);
+  auto node = MakeLeaf(shape, /*zero_init=*/false);
   for (float& v : node->data) {
     v = static_cast<float>(rng.Uniform(-bound, bound));
   }
@@ -97,21 +97,6 @@ int64_t Tensor::dim(int64_t i) const {
   CHECK(i >= 0 && i < r) << "dim index " << i << " out of range for "
                          << ShapeToString(s);
   return s[static_cast<size_t>(i)];
-}
-
-int64_t Tensor::size() const {
-  CHECK(node_ != nullptr) << "size() on null tensor";
-  return static_cast<int64_t>(node_->data.size());
-}
-
-float* Tensor::data() {
-  CHECK(node_ != nullptr);
-  return node_->data.data();
-}
-
-const float* Tensor::data() const {
-  CHECK(node_ != nullptr);
-  return node_->data.data();
 }
 
 float* Tensor::grad() {
@@ -197,9 +182,9 @@ void Tensor::ZeroGrad() {
 
 Tensor Tensor::Detach() const {
   CHECK(node_ != nullptr);
-  auto node = std::make_shared<internal::Node>();
-  node->shape = node_->shape;
-  node->data = node_->data;  // Copy: detached view must not alias autograd.
+  auto node = internal::AllocNode(node_->shape, /*zero_init=*/false);
+  // Copy: detached view must not alias autograd.
+  std::copy(node_->data.begin(), node_->data.end(), node->data.begin());
   node->requires_grad = false;
   return Tensor(node);
 }

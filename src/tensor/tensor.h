@@ -83,10 +83,12 @@ class Tensor {
   /// Extent of dimension `i` (supports negative indexing from the back).
   int64_t dim(int64_t i) const;
   /// Total number of elements.
-  int64_t size() const;
+  int64_t size() const { return static_cast<int64_t>(node_->data.size()); }
 
-  float* data();
-  const float* data() const;
+  // data()/size() are defined inline: they run once or more per tensor op,
+  // and the out-of-line call was measurable (~3%) in serving profiles.
+  float* data() { return node_->data.data(); }
+  const float* data() const { return node_->data.data(); }
 
   /// Gradient buffer; allocated (zeros) on first access.
   float* grad();

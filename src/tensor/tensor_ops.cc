@@ -3,8 +3,15 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/workspace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
+
+#if defined(__GNUC__) || defined(__clang__)
+#define EXPLAINTI_RESTRICT __restrict__
+#else
+#define EXPLAINTI_RESTRICT
+#endif
 
 namespace explainti::tensor {
 
@@ -14,10 +21,21 @@ using internal::Node;
 
 /// Allocates an op-result node wired to its parents. The caller fills
 /// `data` and attaches `backward_fn` when `requires_grad` is set.
-std::shared_ptr<Node> NewNode(Shape shape, const std::vector<Tensor>& parents) {
-  auto node = std::make_shared<Node>();
-  node->shape = std::move(shape);
-  node->data.assign(static_cast<size_t>(NumElements(node->shape)), 0.0f);
+///
+/// In inference mode (see workspace.h) the node is tape-free: parents are
+/// validated but not retained, `requires_grad` stays false (so callers
+/// never attach a backward closure), and storage comes from the thread's
+/// workspace arena. `zero_init == false` marks ops that overwrite every
+/// output element; it has no effect on the tape path, which always
+/// zero-fills exactly as before.
+template <typename ParentRange>
+std::shared_ptr<Node> NewNodeImpl(Shape shape, const ParentRange& parents,
+                                  bool zero_init) {
+  auto node = internal::AllocNode(std::move(shape), zero_init);
+  if (InferenceModeActive()) {
+    for (const Tensor& p : parents) CHECK(p.defined());
+    return node;
+  }
   bool requires_grad = false;
   for (const Tensor& p : parents) {
     CHECK(p.defined());
@@ -26,6 +44,22 @@ std::shared_ptr<Node> NewNode(Shape shape, const std::vector<Tensor>& parents) {
   }
   node->requires_grad = requires_grad;
   return node;
+}
+
+/// Fixed-arity form for the common `{a, b}` call sites. The parent list
+/// lives on the stack (reference_wrapper, no Tensor copies), so in
+/// inference mode an op performs no heap allocation beyond its node.
+std::shared_ptr<Node> NewNode(
+    Shape shape,
+    std::initializer_list<std::reference_wrapper<const Tensor>> parents,
+    bool zero_init = true) {
+  return NewNodeImpl(std::move(shape), parents, zero_init);
+}
+
+/// Variable-arity form for ops with a runtime parent list (Concat*, Stack).
+std::shared_ptr<Node> NewNode(Shape shape, const std::vector<Tensor>& parents,
+                              bool zero_init = true) {
+  return NewNodeImpl(std::move(shape), parents, zero_init);
 }
 
 void Accumulate(Node* parent, const float* grad, size_t n) {
@@ -52,12 +86,22 @@ Tensor Add(const Tensor& a, const Tensor& b) {
         << "Add broadcast requires b rank-1 matching a's last dim; got "
         << ShapeToString(a.shape()) << " + " << ShapeToString(b.shape());
   }
-  auto node = NewNode(a.shape(), {a, b});
+  auto node = NewNode(a.shape(), {a, b}, /*zero_init=*/false);
   const int64_t n = a.size();
   const int64_t cols = broadcast ? b.size() : n;
-  const float* pa = a.data();
-  const float* pb = b.data();
-  for (int64_t i = 0; i < n; ++i) node->data[i] = pa[i] + pb[i % cols];
+  const float* EXPLAINTI_RESTRICT pa = a.data();
+  const float* EXPLAINTI_RESTRICT pb = b.data();
+  float* EXPLAINTI_RESTRICT po = node->data.data();
+  // Split the flat `i % cols` indexing into row loops: the modulo costs an
+  // integer division per element, which dominated this op in profiles. The
+  // additions themselves are unchanged, so the bits are too.
+  if (!broadcast) {
+    for (int64_t i = 0; i < n; ++i) po[i] = pa[i] + pb[i];
+  } else {
+    for (int64_t r = 0; r < n; r += cols) {
+      for (int64_t j = 0; j < cols; ++j) po[r + j] = pa[r + j] + pb[j];
+    }
+  }
   if (node->requires_grad) {
     Node* out = node.get();
     auto na = a.node();
@@ -69,7 +113,9 @@ Tensor Add(const Tensor& a, const Tensor& b) {
       if (!broadcast) {
         for (int64_t i = 0; i < n; ++i) gb[i] += out->grad[i];
       } else {
-        for (int64_t i = 0; i < n; ++i) gb[i % cols] += out->grad[i];
+        for (int64_t r = 0; r < n; r += cols) {
+          for (int64_t j = 0; j < cols; ++j) gb[j] += out->grad[r + j];
+        }
       }
     };
   }
@@ -78,7 +124,7 @@ Tensor Add(const Tensor& a, const Tensor& b) {
 
 Tensor Sub(const Tensor& a, const Tensor& b) {
   CHECK(a.shape() == b.shape()) << "Sub shape mismatch";
-  auto node = NewNode(a.shape(), {a, b});
+  auto node = NewNode(a.shape(), {a, b}, /*zero_init=*/false);
   const int64_t n = a.size();
   for (int64_t i = 0; i < n; ++i) node->data[i] = a.data()[i] - b.data()[i];
   if (node->requires_grad) {
@@ -101,11 +147,18 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
     CHECK(b.rank() == 1 && LastDim(a) == b.dim(0))
         << "Mul broadcast requires b rank-1 matching a's last dim";
   }
-  auto node = NewNode(a.shape(), {a, b});
+  auto node = NewNode(a.shape(), {a, b}, /*zero_init=*/false);
   const int64_t n = a.size();
   const int64_t cols = broadcast ? b.size() : n;
-  for (int64_t i = 0; i < n; ++i) {
-    node->data[i] = a.data()[i] * b.data()[i % cols];
+  {
+    const float* EXPLAINTI_RESTRICT pa = a.data();
+    const float* EXPLAINTI_RESTRICT pb = b.data();
+    float* EXPLAINTI_RESTRICT po = node->data.data();
+    // Row loops instead of `i % cols` — same products, no per-element
+    // integer division (see Add above).
+    for (int64_t r = 0; r < n; r += cols) {
+      for (int64_t j = 0; j < cols; ++j) po[r + j] = pa[r + j] * pb[j];
+    }
   }
   if (node->requires_grad) {
     Node* out = node.get();
@@ -114,14 +167,18 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
     node->backward_fn = [out, na, nb, n, cols]() {
       if (na->requires_grad) {
         auto& ga = na->EnsureGrad();
-        for (int64_t i = 0; i < n; ++i) {
-          ga[i] += out->grad[i] * nb->data[i % cols];
+        for (int64_t r = 0; r < n; r += cols) {
+          for (int64_t j = 0; j < cols; ++j) {
+            ga[r + j] += out->grad[r + j] * nb->data[j];
+          }
         }
       }
       if (nb->requires_grad) {
         auto& gb = nb->EnsureGrad();
-        for (int64_t i = 0; i < n; ++i) {
-          gb[i % cols] += out->grad[i] * na->data[i];
+        for (int64_t r = 0; r < n; r += cols) {
+          for (int64_t j = 0; j < cols; ++j) {
+            gb[j] += out->grad[r + j] * na->data[r + j];
+          }
         }
       }
     };
@@ -130,7 +187,7 @@ Tensor Mul(const Tensor& a, const Tensor& b) {
 }
 
 Tensor Scale(const Tensor& a, float c) {
-  auto node = NewNode(a.shape(), {a});
+  auto node = NewNode(a.shape(), {a}, /*zero_init=*/false);
   const int64_t n = a.size();
   for (int64_t i = 0; i < n; ++i) node->data[i] = a.data()[i] * c;
   if (node->requires_grad) {
@@ -146,7 +203,7 @@ Tensor Scale(const Tensor& a, float c) {
 }
 
 Tensor AddScalar(const Tensor& a, float c) {
-  auto node = NewNode(a.shape(), {a});
+  auto node = NewNode(a.shape(), {a}, /*zero_init=*/false);
   const int64_t n = a.size();
   for (int64_t i = 0; i < n; ++i) node->data[i] = a.data()[i] + c;
   if (node->requires_grad) {
@@ -193,9 +250,93 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   // Output rows are disjoint, so chunking over i (or, for a single output
   // row, over j) keeps every element's accumulation order — and therefore
   // the float result — identical to the serial loop.
+  //
+  // The no-grad serving path takes a register-blocked kernel (two output
+  // rows x four k steps per pass): each output element still receives its
+  // products in ascending-k order with every product and add individually
+  // rounded, so the bits match the tape kernel exactly (for finite
+  // operands; 0-coefficient terms are added as signed zeros instead of
+  // skipped, which cannot change an accumulator that is never -0.0).
+  // Unrolling over k amortises the accumulator-row loads/stores, and
+  // pairing two output rows reuses each b row for two accumulators; with
+  // the j loop vectorized (see this file's COMPILE_OPTIONS in
+  // CMakeLists.txt) the combination is ~3x over the naive loop on the
+  // encoder's GEMM shapes. The tape path keeps the zero-skip kernel whose
+  // structure mirrors the backward pass and profits from sparse inputs.
+  const bool serving = InferenceModeActive();
   if (m > 1) {
     util::ParallelFor(0, m, util::GrainForCost(k * n),
                       [&](int64_t ib, int64_t ie) {
+      if (serving) {
+        int64_t i = ib;
+        for (; i + 2 <= ie; i += 2) {
+          const float* EXPLAINTI_RESTRICT a0r = pa + i * k;
+          const float* EXPLAINTI_RESTRICT a1r = a0r + k;
+          float* EXPLAINTI_RESTRICT c0 = pc + i * n;
+          float* EXPLAINTI_RESTRICT c1 = c0 + n;
+          int64_t kk = 0;
+          for (; kk + 4 <= k; kk += 4) {
+            const float x0 = a0r[kk], x1 = a0r[kk + 1];
+            const float x2 = a0r[kk + 2], x3 = a0r[kk + 3];
+            const float y0 = a1r[kk], y1 = a1r[kk + 1];
+            const float y2 = a1r[kk + 2], y3 = a1r[kk + 3];
+            const float* EXPLAINTI_RESTRICT b0 = pb + kk * n;
+            const float* EXPLAINTI_RESTRICT b1 = b0 + n;
+            const float* EXPLAINTI_RESTRICT b2 = b1 + n;
+            const float* EXPLAINTI_RESTRICT b3 = b2 + n;
+            for (int64_t j = 0; j < n; ++j) {
+              const float v0 = b0[j], v1 = b1[j], v2 = b2[j], v3 = b3[j];
+              float acc0 = c0[j];
+              acc0 += x0 * v0;
+              acc0 += x1 * v1;
+              acc0 += x2 * v2;
+              acc0 += x3 * v3;
+              c0[j] = acc0;
+              float acc1 = c1[j];
+              acc1 += y0 * v0;
+              acc1 += y1 * v1;
+              acc1 += y2 * v2;
+              acc1 += y3 * v3;
+              c1[j] = acc1;
+            }
+          }
+          for (; kk < k; ++kk) {
+            const float x = a0r[kk], y = a1r[kk];
+            const float* EXPLAINTI_RESTRICT brow = pb + kk * n;
+            for (int64_t j = 0; j < n; ++j) {
+              c0[j] += x * brow[j];
+              c1[j] += y * brow[j];
+            }
+          }
+        }
+        for (; i < ie; ++i) {
+          const float* EXPLAINTI_RESTRICT arow = pa + i * k;
+          float* EXPLAINTI_RESTRICT crow = pc + i * n;
+          int64_t kk = 0;
+          for (; kk + 4 <= k; kk += 4) {
+            const float a0 = arow[kk], a1 = arow[kk + 1];
+            const float a2 = arow[kk + 2], a3 = arow[kk + 3];
+            const float* EXPLAINTI_RESTRICT b0 = pb + kk * n;
+            const float* EXPLAINTI_RESTRICT b1 = b0 + n;
+            const float* EXPLAINTI_RESTRICT b2 = b1 + n;
+            const float* EXPLAINTI_RESTRICT b3 = b2 + n;
+            for (int64_t j = 0; j < n; ++j) {
+              float acc = crow[j];
+              acc += a0 * b0[j];
+              acc += a1 * b1[j];
+              acc += a2 * b2[j];
+              acc += a3 * b3[j];
+              crow[j] = acc;
+            }
+          }
+          for (; kk < k; ++kk) {
+            const float av = arow[kk];
+            const float* EXPLAINTI_RESTRICT brow = pb + kk * n;
+            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
+          }
+        }
+        return;
+      }
       for (int64_t i = ib; i < ie; ++i) {
         for (int64_t kk = 0; kk < k; ++kk) {
           const float av = pa[i * k + kk];
@@ -209,6 +350,31 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   } else {
     util::ParallelFor(0, n, util::GrainForCost(k),
                       [&](int64_t jb, int64_t je) {
+      if (serving) {
+        int64_t kk = 0;
+        for (; kk + 4 <= k; kk += 4) {
+          const float a0 = pa[kk], a1 = pa[kk + 1];
+          const float a2 = pa[kk + 2], a3 = pa[kk + 3];
+          const float* EXPLAINTI_RESTRICT b0 = pb + kk * n;
+          const float* EXPLAINTI_RESTRICT b1 = b0 + n;
+          const float* EXPLAINTI_RESTRICT b2 = b1 + n;
+          const float* EXPLAINTI_RESTRICT b3 = b2 + n;
+          for (int64_t j = jb; j < je; ++j) {
+            float acc = pc[j];
+            acc += a0 * b0[j];
+            acc += a1 * b1[j];
+            acc += a2 * b2[j];
+            acc += a3 * b3[j];
+            pc[j] = acc;
+          }
+        }
+        for (; kk < k; ++kk) {
+          const float av = pa[kk];
+          const float* EXPLAINTI_RESTRICT brow = pb + kk * n;
+          for (int64_t j = jb; j < je; ++j) pc[j] += av * brow[j];
+        }
+        return;
+      }
       for (int64_t kk = 0; kk < k; ++kk) {
         const float av = pa[kk];
         if (av == 0.0f) continue;
@@ -282,7 +448,7 @@ Tensor Transpose(const Tensor& a) {
   CHECK_EQ(a.rank(), 2) << "Transpose requires rank-2";
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
-  auto node = NewNode({n, m}, {a});
+  auto node = NewNode({n, m}, {a}, /*zero_init=*/false);
   for (int64_t i = 0; i < m; ++i) {
     for (int64_t j = 0; j < n; ++j) {
       node->data[j * m + i] = a.data()[i * n + j];
@@ -316,7 +482,7 @@ Tensor L2Normalize(const Tensor& x, float eps) {
   float norm_sq = 0.0f;
   for (int64_t i = 0; i < n; ++i) norm_sq += x.data()[i] * x.data()[i];
   const float norm = std::max(std::sqrt(norm_sq), eps);
-  auto node = NewNode(x.shape(), {x});
+  auto node = NewNode(x.shape(), {x}, /*zero_init=*/false);
   for (int64_t i = 0; i < n; ++i) node->data[i] = x.data()[i] / norm;
   if (node->requires_grad) {
     Node* out = node.get();
@@ -341,8 +507,8 @@ Tensor L2Normalize(const Tensor& x, float eps) {
 
 Tensor Reshape(const Tensor& a, const Shape& shape) {
   CHECK_EQ(NumElements(shape), a.size()) << "Reshape element-count mismatch";
-  auto node = NewNode(shape, {a});
-  node->data = a.node()->data;
+  auto node = NewNode(shape, {a}, /*zero_init=*/false);
+  std::copy(a.data(), a.data() + a.size(), node->data.begin());
   if (node->requires_grad) {
     Node* out = node.get();
     auto na = a.node();
@@ -359,7 +525,7 @@ Tensor SliceRows(const Tensor& a, int64_t start, int64_t end) {
       << "SliceRows range [" << start << ", " << end << ") out of bounds";
   const int64_t n = a.dim(1);
   const int64_t rows = end - start;
-  auto node = NewNode({rows, n}, {a});
+  auto node = NewNode({rows, n}, {a}, /*zero_init=*/false);
   std::copy(a.data() + start * n, a.data() + end * n, node->data.begin());
   if (node->requires_grad) {
     Node* out = node.get();
@@ -387,7 +553,7 @@ Tensor SliceCols(const Tensor& a, int64_t start, int64_t end) {
   const int64_t m = a.dim(0);
   const int64_t n = a.dim(1);
   const int64_t w = end - start;
-  auto node = NewNode({m, w}, {a});
+  auto node = NewNode({m, w}, {a}, /*zero_init=*/false);
   for (int64_t i = 0; i < m; ++i) {
     std::copy(a.data() + i * n + start, a.data() + i * n + end,
               node->data.begin() + i * w);
@@ -416,7 +582,7 @@ Tensor ConcatCols(const std::vector<Tensor>& parts) {
     CHECK(p.rank() == 2 && p.dim(0) == m) << "ConcatCols row mismatch";
     total_cols += p.dim(1);
   }
-  auto node = NewNode({m, total_cols}, parts);
+  auto node = NewNode({m, total_cols}, parts, /*zero_init=*/false);
   int64_t col_offset = 0;
   for (const Tensor& p : parts) {
     const int64_t w = p.dim(1);
@@ -455,7 +621,7 @@ Tensor Concat(const Tensor& a, const Tensor& b) {
   CHECK(a.rank() == 1 && b.rank() == 1) << "Concat requires rank-1 inputs";
   const int64_t p = a.size();
   const int64_t q = b.size();
-  auto node = NewNode({p + q}, {a, b});
+  auto node = NewNode({p + q}, {a, b}, /*zero_init=*/false);
   std::copy(a.data(), a.data() + p, node->data.begin());
   std::copy(b.data(), b.data() + q, node->data.begin() + p);
   if (node->requires_grad) {
@@ -481,7 +647,7 @@ Tensor ConcatRows(const std::vector<Tensor>& parts) {
     CHECK(p.rank() == 2 && p.dim(1) == n) << "ConcatRows column mismatch";
     total_rows += p.dim(0);
   }
-  auto node = NewNode({total_rows, n}, parts);
+  auto node = NewNode({total_rows, n}, parts, /*zero_init=*/false);
   int64_t offset = 0;
   for (const Tensor& p : parts) {
     std::copy(p.data(), p.data() + p.size(), node->data.begin() + offset);
@@ -514,7 +680,8 @@ Tensor Stack(const std::vector<Tensor>& rows) {
   for (const Tensor& r : rows) {
     CHECK(r.rank() == 1 && r.size() == n) << "Stack requires equal rank-1";
   }
-  auto node = NewNode({static_cast<int64_t>(rows.size()), n}, rows);
+  auto node = NewNode({static_cast<int64_t>(rows.size()), n}, rows,
+                      /*zero_init=*/false);
   for (size_t i = 0; i < rows.size(); ++i) {
     std::copy(rows[i].data(), rows[i].data() + n,
               node->data.begin() + static_cast<int64_t>(i) * n);
@@ -568,7 +735,7 @@ Tensor MeanRows(const Tensor& a) {
 }
 
 Tensor Sum(const Tensor& a) {
-  auto node = NewNode({}, {a});
+  auto node = NewNode({}, {a}, /*zero_init=*/false);
   float acc = 0.0f;
   for (int64_t i = 0; i < a.size(); ++i) acc += a.data()[i];
   node->data[0] = acc;
@@ -593,7 +760,7 @@ Tensor Mean(const Tensor& a) {
 // ---------------------------------------------------------------------------
 
 Tensor Relu(const Tensor& a) {
-  auto node = NewNode(a.shape(), {a});
+  auto node = NewNode(a.shape(), {a}, /*zero_init=*/false);
   const int64_t n = a.size();
   for (int64_t i = 0; i < n; ++i) {
     node->data[i] = a.data()[i] > 0.0f ? a.data()[i] : 0.0f;
@@ -618,7 +785,7 @@ const float kSqrt2OverPi = std::sqrt(2.0f / static_cast<float>(M_PI));
 }  // namespace
 
 Tensor Gelu(const Tensor& a) {
-  auto node = NewNode(a.shape(), {a});
+  auto node = NewNode(a.shape(), {a}, /*zero_init=*/false);
   const int64_t n = a.size();
   for (int64_t i = 0; i < n; ++i) {
     const float x = a.data()[i];
@@ -645,7 +812,7 @@ Tensor Gelu(const Tensor& a) {
 }
 
 Tensor TanhOp(const Tensor& a) {
-  auto node = NewNode(a.shape(), {a});
+  auto node = NewNode(a.shape(), {a}, /*zero_init=*/false);
   const int64_t n = a.size();
   for (int64_t i = 0; i < n; ++i) node->data[i] = std::tanh(a.data()[i]);
   if (node->requires_grad) {
@@ -664,7 +831,7 @@ Tensor TanhOp(const Tensor& a) {
 }
 
 Tensor SigmoidOp(const Tensor& a) {
-  auto node = NewNode(a.shape(), {a});
+  auto node = NewNode(a.shape(), {a}, /*zero_init=*/false);
   const int64_t n = a.size();
   for (int64_t i = 0; i < n; ++i) {
     node->data[i] = 1.0f / (1.0f + std::exp(-a.data()[i]));
@@ -702,7 +869,7 @@ RowRange LastDimRows(const Tensor& a) {
 
 Tensor Softmax(const Tensor& a) {
   const RowRange rr = LastDimRows(a);
-  auto node = NewNode(a.shape(), {a});
+  auto node = NewNode(a.shape(), {a}, /*zero_init=*/false);
   // Rows are independent in forward and backward; parallel chunks touch
   // disjoint rows, so results match the serial loop exactly.
   const float* pa = a.data();
@@ -747,7 +914,7 @@ Tensor Softmax(const Tensor& a) {
 
 Tensor LogSoftmax(const Tensor& a) {
   const RowRange rr = LastDimRows(a);
-  auto node = NewNode(a.shape(), {a});
+  auto node = NewNode(a.shape(), {a}, /*zero_init=*/false);
   const float* pa = a.data();
   float* pout = node->data.data();
   util::ParallelFor(0, rr.rows, util::GrainForCost(3 * rr.cols),
@@ -795,11 +962,15 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
   const RowRange rr = LastDimRows(a);
   CHECK(gamma.rank() == 1 && gamma.size() == rr.cols) << "LayerNorm gamma";
   CHECK(beta.rank() == 1 && beta.size() == rr.cols) << "LayerNorm beta";
-  auto node = NewNode(a.shape(), {a, gamma, beta});
-  // Cache per-row mean and inverse stddev for backward. Rows are
-  // independent; parallel chunks write disjoint rows of out/means/stds.
-  auto means = std::make_shared<std::vector<float>>(rr.rows);
-  auto inv_stds = std::make_shared<std::vector<float>>(rr.rows);
+  auto node = NewNode(a.shape(), {a, gamma, beta}, /*zero_init=*/false);
+  // Cache per-row mean and inverse stddev for backward — only when a
+  // backward pass can happen. Rows are independent; parallel chunks write
+  // disjoint rows of out/means/stds.
+  std::shared_ptr<std::vector<float>> means, inv_stds;
+  if (node->requires_grad) {
+    means = std::make_shared<std::vector<float>>(rr.rows);
+    inv_stds = std::make_shared<std::vector<float>>(rr.rows);
+  }
   const float* pa = a.data();
   const float* pgamma = gamma.data();
   const float* pbeta = beta.data();
@@ -818,8 +989,10 @@ Tensor LayerNorm(const Tensor& a, const Tensor& gamma, const Tensor& beta,
       }
       var /= static_cast<float>(rr.cols);
       const float inv_std = 1.0f / std::sqrt(var + eps);
-      (*means)[r] = mean;
-      (*inv_stds)[r] = inv_std;
+      if (means) {
+        (*means)[r] = mean;
+        (*inv_stds)[r] = inv_std;
+      }
       float* out = pout + r * rr.cols;
       for (int64_t j = 0; j < rr.cols; ++j) {
         out[j] = (in[j] - mean) * inv_std * pgamma[j] + pbeta[j];
@@ -900,7 +1073,8 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
   for (int id : ids) {
     CHECK(id >= 0 && id < vocab) << "embedding id " << id << " out of range";
   }
-  auto node = NewNode({static_cast<int64_t>(ids.size()), d}, {table});
+  auto node = NewNode({static_cast<int64_t>(ids.size()), d}, {table},
+                      /*zero_init=*/false);
   for (size_t i = 0; i < ids.size(); ++i) {
     std::copy(table.data() + ids[i] * d, table.data() + (ids[i] + 1) * d,
               node->data.begin() + static_cast<int64_t>(i) * d);
@@ -927,6 +1101,9 @@ Tensor EmbeddingLookup(const Tensor& table, const std::vector<int>& ids) {
 
 Tensor Dropout(const Tensor& a, float p, util::Rng& rng, bool training) {
   if (!training || p <= 0.0f) {
+    // Off the tape there is no graph to participate in; skip the identity
+    // node entirely (x * 1.0f is bit-identical to x for every float).
+    if (InferenceModeActive()) return a;
     // Identity pass-through that still participates in the graph.
     return Scale(a, 1.0f);
   }
@@ -946,7 +1123,7 @@ Tensor DropoutWithMask(const Tensor& a,
   const int64_t n = a.size();
   CHECK_EQ(static_cast<int64_t>(mask->size()), n)
       << "DropoutWithMask: mask size mismatch";
-  auto node = NewNode(a.shape(), {a});
+  auto node = NewNode(a.shape(), {a}, /*zero_init=*/false);
   for (int64_t i = 0; i < n; ++i) node->data[i] = a.data()[i] * (*mask)[i];
   if (node->requires_grad) {
     Node* out = node.get();
@@ -969,7 +1146,7 @@ Tensor CrossEntropyLoss(const Tensor& logits, int target) {
   CHECK(target >= 0 && target < logits.size()) << "target out of range";
   Tensor log_probs = LogSoftmax(logits);
   // loss = -log_probs[target]
-  auto node = NewNode({}, {log_probs});
+  auto node = NewNode({}, {log_probs}, /*zero_init=*/false);
   node->data[0] = -log_probs.data()[target];
   if (node->requires_grad) {
     Node* out = node.get();
@@ -987,7 +1164,7 @@ Tensor SoftCrossEntropyLoss(const Tensor& logits,
   CHECK_EQ(logits.rank(), 1);
   CHECK_EQ(static_cast<int64_t>(target.size()), logits.size());
   Tensor log_probs = LogSoftmax(logits);
-  auto node = NewNode({}, {log_probs});
+  auto node = NewNode({}, {log_probs}, /*zero_init=*/false);
   float loss = 0.0f;
   for (size_t i = 0; i < target.size(); ++i) {
     loss -= target[i] * log_probs.data()[i];
@@ -1012,7 +1189,7 @@ Tensor BceWithLogitsLoss(const Tensor& logits,
   CHECK_EQ(logits.rank(), 1);
   CHECK_EQ(static_cast<int64_t>(target.size()), logits.size());
   const int64_t c = logits.size();
-  auto node = NewNode({}, {logits});
+  auto node = NewNode({}, {logits}, /*zero_init=*/false);
   // Stable per-element loss: max(x,0) - x*t + log(1 + exp(-|x|)).
   float total = 0.0f;
   for (int64_t i = 0; i < c; ++i) {
@@ -1041,7 +1218,7 @@ Tensor NllFromProbs(const Tensor& probs, int target) {
   CHECK_EQ(probs.rank(), 1);
   CHECK(target >= 0 && target < probs.size());
   constexpr float kEps = 1e-7f;
-  auto node = NewNode({}, {probs});
+  auto node = NewNode({}, {probs}, /*zero_init=*/false);
   const float p = std::max(probs.data()[target], kEps);
   node->data[0] = -std::log(p);
   if (node->requires_grad) {
@@ -1061,7 +1238,7 @@ Tensor BceFromProbs(const Tensor& probs, const std::vector<float>& target) {
   CHECK_EQ(static_cast<int64_t>(target.size()), probs.size());
   constexpr float kEps = 1e-7f;
   const int64_t c = probs.size();
-  auto node = NewNode({}, {probs});
+  auto node = NewNode({}, {probs}, /*zero_init=*/false);
   float total = 0.0f;
   for (int64_t i = 0; i < c; ++i) {
     const float p =

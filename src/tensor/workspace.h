@@ -1,0 +1,64 @@
+#ifndef EXPLAINTI_TENSOR_WORKSPACE_H_
+#define EXPLAINTI_TENSOR_WORKSPACE_H_
+
+#include <cstdint>
+#include <memory>
+
+#include "tensor/tensor.h"
+
+namespace explainti::tensor {
+
+/// RAII switch into no-grad ("inference") execution for the current
+/// thread. While a guard is alive, every op in tensor_ops.cc:
+///   - skips parent retention and backward-closure construction (no tape),
+///   - forces `requires_grad == false` on its result,
+///   - draws its node and `data` buffer from this thread's Workspace arena
+///     instead of the heap, and returns them to the arena on destruction.
+///
+/// Numerics are unchanged: the forward loops are the same code in both
+/// modes, so outputs are bit-identical to the tape-building path. Guards
+/// nest; the flag is thread-local, so parallel regions that should run
+/// off-tape must instantiate a guard on each executing thread.
+class InferenceModeGuard {
+ public:
+  InferenceModeGuard();
+  ~InferenceModeGuard();
+  InferenceModeGuard(const InferenceModeGuard&) = delete;
+  InferenceModeGuard& operator=(const InferenceModeGuard&) = delete;
+
+ private:
+  bool previous_;
+};
+
+/// True while an InferenceModeGuard is alive on the calling thread.
+bool InferenceModeActive();
+
+/// Counters for the calling thread's Workspace arena. An "acquire" is a
+/// request served by the arena; a "miss" is an acquire that had to fall
+/// back to the heap (cold pool). Steady state on a warmed-up thread is
+/// acquires advancing with zero new misses: no tensor heap allocations.
+struct WorkspaceStats {
+  int64_t node_acquires = 0;
+  int64_t node_misses = 0;
+  int64_t buffer_acquires = 0;
+  int64_t buffer_misses = 0;
+};
+
+/// Snapshot of the calling thread's arena counters.
+WorkspaceStats ThisThreadWorkspaceStats();
+
+namespace internal {
+
+/// Allocates a node for an op result or leaf. Outside inference mode this
+/// is exactly the historical behaviour (fresh heap node, data zero-filled
+/// regardless of `zero_init`, so the training tape is byte-for-byte
+/// unchanged). In inference mode the node and its data buffer come from
+/// the thread's Workspace; `zero_init == false` skips the zero-fill for
+/// ops that overwrite every output element.
+std::shared_ptr<Node> AllocNode(Shape shape, bool zero_init);
+
+}  // namespace internal
+
+}  // namespace explainti::tensor
+
+#endif  // EXPLAINTI_TENSOR_WORKSPACE_H_

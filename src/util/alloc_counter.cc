@@ -1,0 +1,116 @@
+#include "util/alloc_counter.h"
+
+#include <cstddef>
+#include <cstdlib>
+#include <new>
+
+namespace explainti::util {
+namespace {
+
+// Plain thread_local aggregates; operator new can run before any
+// explainti code, so keep construction trivial (zero-init, no dtor
+// side effects).
+thread_local int64_t tls_allocations = 0;
+thread_local int64_t tls_frees = 0;
+thread_local int64_t tls_bytes = 0;
+
+void* CountingAlloc(std::size_t size, std::size_t align) {
+  ++tls_allocations;
+  tls_bytes += static_cast<int64_t>(size);
+  // malloc(0) may return nullptr; operator new must not.
+  if (size == 0) size = 1;
+  for (;;) {
+    void* p = align > alignof(std::max_align_t)
+                  ? std::aligned_alloc(align, (size + align - 1) / align * align)
+                  : std::malloc(size);
+    if (p != nullptr) return p;
+    std::new_handler handler = std::get_new_handler();
+    if (handler == nullptr) return nullptr;
+    handler();
+  }
+}
+
+void CountingFree(void* p) {
+  if (p == nullptr) return;
+  ++tls_frees;
+  // aligned_alloc storage is freeable with plain free on POSIX, so one
+  // release path covers both branches of CountingAlloc.
+  std::free(p);
+}
+
+}  // namespace
+
+AllocCounts ThisThreadAllocCounts() {
+  return {tls_allocations, tls_frees, tls_bytes};
+}
+
+}  // namespace explainti::util
+
+// ---------------------------------------------------------------------------
+// Global replacement operators (C++17 set). They delegate to malloc/free,
+// which sanitizers intercept, so ASan/TSan builds keep working — only the
+// new/delete-specific mismatch checks are traded for counting.
+// ---------------------------------------------------------------------------
+
+namespace {
+
+void* ThrowingAlloc(std::size_t size, std::size_t align) {
+  void* p = explainti::util::CountingAlloc(size, align);
+  if (p == nullptr) throw std::bad_alloc();
+  return p;
+}
+
+}  // namespace
+
+void* operator new(std::size_t size) { return ThrowingAlloc(size, 0); }
+void* operator new[](std::size_t size) { return ThrowingAlloc(size, 0); }
+void* operator new(std::size_t size, std::align_val_t align) {
+  return ThrowingAlloc(size, static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align) {
+  return ThrowingAlloc(size, static_cast<std::size_t>(align));
+}
+
+void* operator new(std::size_t size, const std::nothrow_t&) noexcept {
+  return explainti::util::CountingAlloc(size, 0);
+}
+void* operator new[](std::size_t size, const std::nothrow_t&) noexcept {
+  return explainti::util::CountingAlloc(size, 0);
+}
+void* operator new(std::size_t size, std::align_val_t align,
+                   const std::nothrow_t&) noexcept {
+  return explainti::util::CountingAlloc(size,
+                                        static_cast<std::size_t>(align));
+}
+void* operator new[](std::size_t size, std::align_val_t align,
+                     const std::nothrow_t&) noexcept {
+  return explainti::util::CountingAlloc(size,
+                                        static_cast<std::size_t>(align));
+}
+
+void operator delete(void* p) noexcept { explainti::util::CountingFree(p); }
+void operator delete[](void* p) noexcept { explainti::util::CountingFree(p); }
+void operator delete(void* p, std::size_t) noexcept {
+  explainti::util::CountingFree(p);
+}
+void operator delete[](void* p, std::size_t) noexcept {
+  explainti::util::CountingFree(p);
+}
+void operator delete(void* p, std::align_val_t) noexcept {
+  explainti::util::CountingFree(p);
+}
+void operator delete[](void* p, std::align_val_t) noexcept {
+  explainti::util::CountingFree(p);
+}
+void operator delete(void* p, std::size_t, std::align_val_t) noexcept {
+  explainti::util::CountingFree(p);
+}
+void operator delete[](void* p, std::size_t, std::align_val_t) noexcept {
+  explainti::util::CountingFree(p);
+}
+void operator delete(void* p, const std::nothrow_t&) noexcept {
+  explainti::util::CountingFree(p);
+}
+void operator delete[](void* p, const std::nothrow_t&) noexcept {
+  explainti::util::CountingFree(p);
+}

@@ -1,0 +1,290 @@
+#include "core/inference_session.h"
+
+#include <cstring>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/explain_ti_model.h"
+#include "data/wiki_generator.h"
+#include "tensor/workspace.h"
+#include "util/alloc_counter.h"
+#include "util/thread_pool.h"
+
+namespace explainti::core {
+namespace {
+
+// Restores the global pool to the environment-configured size when a test
+// that sweeps thread counts finishes, so test order doesn't matter.
+class GlobalPoolGuard {
+ public:
+  GlobalPoolGuard() = default;
+  ~GlobalPoolGuard() { util::SetGlobalThreadCount(util::ConfiguredThreadCount()); }
+};
+
+data::TableCorpus TinyCorpus() {
+  data::WikiTableOptions options;
+  options.num_tables = 28;
+  return data::GenerateWikiTableCorpus(options);
+}
+
+ExplainTiConfig TinyConfig(const std::string& base_model) {
+  ExplainTiConfig config;
+  config.base_model = base_model;
+  config.sample_size = 4;
+  config.top_k = 3;
+  return config;
+}
+
+// Bitwise float-vector equality: inference mode must not change numerics
+// at all, so approximate comparisons would mask real drift.
+void ExpectBitEqual(const std::vector<float>& a, const std::vector<float>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+        << what;
+  }
+}
+
+uint32_t Bits(float v) {
+  uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  return bits;
+}
+
+// Full structural comparison of two explanations (tape vs no-grad): the
+// prediction, LE windows, GE retrievals, and SE neighbours must all match
+// bit for bit.
+void ExpectExplanationsBitEqual(const Explanation& tape,
+                                const Explanation& nograd) {
+  EXPECT_EQ(tape.predicted_labels, nograd.predicted_labels);
+  ExpectBitEqual(tape.probabilities, nograd.probabilities, "probabilities");
+
+  ASSERT_EQ(tape.local.size(), nograd.local.size());
+  for (size_t i = 0; i < tape.local.size(); ++i) {
+    EXPECT_EQ(tape.local[i].window_start, nograd.local[i].window_start);
+    EXPECT_EQ(tape.local[i].window_end, nograd.local[i].window_end);
+    EXPECT_EQ(tape.local[i].window_start2, nograd.local[i].window_start2);
+    EXPECT_EQ(tape.local[i].window_end2, nograd.local[i].window_end2);
+    EXPECT_EQ(Bits(tape.local[i].relevance), Bits(nograd.local[i].relevance))
+        << "LE relevance at " << i;
+    EXPECT_EQ(tape.local[i].text, nograd.local[i].text);
+  }
+
+  ASSERT_EQ(tape.global.size(), nograd.global.size());
+  for (size_t i = 0; i < tape.global.size(); ++i) {
+    EXPECT_EQ(tape.global[i].train_sample_id, nograd.global[i].train_sample_id);
+    EXPECT_EQ(Bits(tape.global[i].influence), Bits(nograd.global[i].influence))
+        << "GE influence at " << i;
+    EXPECT_EQ(tape.global[i].labels, nograd.global[i].labels);
+  }
+
+  ASSERT_EQ(tape.structural.size(), nograd.structural.size());
+  for (size_t i = 0; i < tape.structural.size(); ++i) {
+    EXPECT_EQ(tape.structural[i].neighbor_sample_id,
+              nograd.structural[i].neighbor_sample_id);
+    EXPECT_EQ(Bits(tape.structural[i].attention),
+              Bits(nograd.structural[i].attention))
+        << "SE attention at " << i;
+    EXPECT_EQ(tape.structural[i].via, nograd.structural[i].via);
+  }
+
+  EXPECT_EQ(tape.ann_degraded, nograd.ann_degraded);
+}
+
+std::vector<int> SampleIds(const TaskData& task) {
+  std::vector<int> ids;
+  const int n = static_cast<int>(task.samples.size());
+  for (int id = 0; id < n && static_cast<int>(ids.size()) < 6; id += 3) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+// -- Satellite 1: golden bit-equality, both base models, 1 and 4 threads. --
+
+class GoldenBitEqualityTest : public ::testing::TestWithParam<const char*> {};
+
+TEST_P(GoldenBitEqualityTest, NoGradMatchesTapeBitForBit) {
+  GlobalPoolGuard guard;
+  const data::TableCorpus corpus = TinyCorpus();
+  ExplainTiModel model(TinyConfig(GetParam()), corpus);
+  // Untrained weights are as good as trained ones for an equality test;
+  // RefreshStores populates the GE/SE stores so all three explanation
+  // views are exercised.
+  model.RefreshStores();
+  const InferenceSession& session = model.session();
+
+  for (int threads : {1, 4}) {
+    util::SetGlobalThreadCount(threads);
+    for (TaskKind kind : {TaskKind::kType, TaskKind::kRelation}) {
+      if (!model.HasTask(kind)) continue;
+      for (int id : SampleIds(model.task_data(kind))) {
+        // Tape-building eval forward (the reference path).
+        const std::vector<int> tape_labels = model.Predict(kind, id);
+        const std::vector<float> tape_probs =
+            model.PredictProbabilities(kind, id);
+        const Explanation tape = model.Explain(kind, id);
+        // No-grad forward through the frozen session.
+        EXPECT_EQ(session.Predict(kind, id), tape_labels)
+            << "threads=" << threads << " id=" << id;
+        ExpectBitEqual(session.PredictProbabilities(kind, id), tape_probs,
+                       "PredictProbabilities");
+        ExpectExplanationsBitEqual(tape, session.Explain(kind, id));
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BaseModels, GoldenBitEqualityTest,
+                         ::testing::Values("bert", "roberta"));
+
+// Weights written by the tape path and reloaded into a fresh model must
+// serve identically through the fresh model's session.
+TEST(InferenceSessionTest, SurvivesSaveLoadRoundTrip) {
+  GlobalPoolGuard guard;
+  util::SetGlobalThreadCount(1);
+  const data::TableCorpus corpus = TinyCorpus();
+  ExplainTiModel model(TinyConfig("bert"), corpus);
+  model.RefreshStores();
+  const std::string path = ::testing::TempDir() + "/session_weights.bin";
+  ASSERT_TRUE(model.SaveWeights(path).ok());
+
+  ExplainTiModel reloaded(TinyConfig("bert"), corpus);
+  ASSERT_TRUE(reloaded.LoadWeights(path).ok());
+
+  for (int id : SampleIds(model.task_data(TaskKind::kType))) {
+    ExpectBitEqual(reloaded.session().PredictProbabilities(TaskKind::kType, id),
+                   model.session().PredictProbabilities(TaskKind::kType, id),
+                   "reloaded probabilities");
+    ExpectExplanationsBitEqual(model.session().Explain(TaskKind::kType, id),
+                               reloaded.session().Explain(TaskKind::kType, id));
+  }
+}
+
+// Evaluate (now routed through the session) must agree with per-sample
+// Predict — the same contract the old tape-path Evaluate satisfied.
+TEST(InferenceSessionTest, EvaluateMatchesPerSamplePredict) {
+  GlobalPoolGuard guard;
+  const data::TableCorpus corpus = TinyCorpus();
+  ExplainTiModel model(TinyConfig("bert"), corpus);
+  model.RefreshStores();
+  const eval::F1Scores serial = [&] {
+    util::SetGlobalThreadCount(1);
+    return model.Evaluate(TaskKind::kType, data::SplitPart::kTest);
+  }();
+  util::SetGlobalThreadCount(4);
+  const eval::F1Scores parallel =
+      model.Evaluate(TaskKind::kType, data::SplitPart::kTest);
+  EXPECT_EQ(Bits(static_cast<float>(serial.weighted)),
+            Bits(static_cast<float>(parallel.weighted)));
+  EXPECT_EQ(Bits(static_cast<float>(serial.macro)),
+            Bits(static_cast<float>(parallel.macro)));
+}
+
+// -- Satellite 2: a warmed-up Predict allocates nothing for tensors. -------
+
+TEST(InferenceSessionTest, WarmPredictDoesNoTensorHeapAllocation) {
+  GlobalPoolGuard guard;
+  util::SetGlobalThreadCount(1);
+  const data::TableCorpus corpus = TinyCorpus();
+  ExplainTiModel model(TinyConfig("bert"), corpus);
+  model.RefreshStores();
+  const InferenceSession& session = model.session();
+  const std::vector<int> ids = SampleIds(model.task_data(TaskKind::kType));
+
+  auto run = [&] {
+    for (int id : ids) session.Predict(TaskKind::kType, id);
+  };
+  run();  // Warm-up: populates the per-thread workspace arena.
+  run();  // Second pass so every bucket has reached its high-water mark.
+
+  // Steady state: every node block and data buffer is served from the
+  // arena — acquires advance, misses (heap fallbacks) do not.
+  const tensor::WorkspaceStats before = tensor::ThisThreadWorkspaceStats();
+  const util::AllocCounts heap_before = util::ThisThreadAllocCounts();
+  run();
+  const util::AllocCounts heap_mid = util::ThisThreadAllocCounts();
+  run();
+  const tensor::WorkspaceStats after = tensor::ThisThreadWorkspaceStats();
+  const util::AllocCounts heap_after = util::ThisThreadAllocCounts();
+
+  EXPECT_GT(after.node_acquires, before.node_acquires);
+  EXPECT_GT(after.buffer_acquires, before.buffer_acquires);
+  EXPECT_EQ(after.node_misses, before.node_misses)
+      << "tensor node fell back to the heap on a warmed-up Predict";
+  EXPECT_EQ(after.buffer_misses, before.buffer_misses)
+      << "tensor data buffer fell back to the heap on a warmed-up Predict";
+
+  // Heap traffic that remains (result vectors, SE bookkeeping) is exactly
+  // repeatable: two identical warmed passes allocate identical counts.
+  EXPECT_EQ(heap_mid.allocations - heap_before.allocations,
+            heap_after.allocations - heap_mid.allocations);
+  EXPECT_EQ(heap_mid.bytes - heap_before.bytes,
+            heap_after.bytes - heap_mid.bytes);
+}
+
+// -- Satellite 3: shared-session thread-safety (exercised under TSan via
+//    the tier1 label; the tsan CI job runs this binary with 4 pool
+//    threads). ---------------------------------------------------------------
+
+TEST(InferenceSessionTsanTest, ConcurrentPredictExplainOnSharedWeights) {
+  GlobalPoolGuard guard;
+  util::SetGlobalThreadCount(1);
+  const data::TableCorpus corpus = TinyCorpus();
+  ExplainTiModel model(TinyConfig("bert"), corpus);
+  model.RefreshStores();
+  const InferenceSession& session = model.session();
+  const std::vector<int> ids = SampleIds(model.task_data(TaskKind::kType));
+
+  // Serial reference results first.
+  std::vector<std::vector<int>> want_labels;
+  std::vector<std::vector<float>> want_probs;
+  for (int id : ids) {
+    want_labels.push_back(session.Predict(TaskKind::kType, id));
+    want_probs.push_back(session.PredictProbabilities(TaskKind::kType, id));
+  }
+
+  constexpr int kThreads = 4;
+  std::vector<std::string> failures(kThreads);
+  std::vector<std::thread> workers;
+  workers.reserve(kThreads);
+  for (int t = 0; t < kThreads; ++t) {
+    workers.emplace_back([&, t] {
+      for (int round = 0; round < 3; ++round) {
+        for (size_t i = 0; i < ids.size(); ++i) {
+          // Skew each thread's visit order so calls genuinely overlap on
+          // different samples.
+          const size_t j = (i + static_cast<size_t>(t)) % ids.size();
+          if (session.Predict(TaskKind::kType, ids[j]) != want_labels[j]) {
+            failures[static_cast<size_t>(t)] = "Predict mismatch";
+            return;
+          }
+          const std::vector<float> probs =
+              session.PredictProbabilities(TaskKind::kType, ids[j]);
+          if (probs.size() != want_probs[j].size() ||
+              std::memcmp(probs.data(), want_probs[j].data(),
+                          probs.size() * sizeof(float)) != 0) {
+            failures[static_cast<size_t>(t)] = "probability mismatch";
+            return;
+          }
+          const Explanation z = session.Explain(TaskKind::kType, ids[j]);
+          if (z.predicted_labels != want_labels[j]) {
+            failures[static_cast<size_t>(t)] = "Explain mismatch";
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& w : workers) w.join();
+  for (int t = 0; t < kThreads; ++t) {
+    EXPECT_EQ(failures[static_cast<size_t>(t)], "") << "thread " << t;
+  }
+}
+
+}  // namespace
+}  // namespace explainti::core
