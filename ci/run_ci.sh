@@ -40,6 +40,20 @@ case "$JOB" in
     (cd "$BUILD" && ./bench/bench_inference_session)
     echo "BENCH_inference.json:"
     cat "$BUILD/BENCH_inference.json"
+    # Serving benchmark: open-loop Poisson load against the
+    # micro-batching InferenceServer vs the sequential baseline. On
+    # >=4-thread hosts it hard-fails unless batched throughput beats
+    # sequential by 1.5x at the highest offered load; everywhere it
+    # hard-fails if the queue ever exceeded its bound. The release
+    # artifacts are incomplete without the JSON, so its absence fails
+    # the job.
+    (cd "$BUILD" && ./bench/bench_online_simulation)
+    test -f "$BUILD/BENCH_serving.json" || {
+      echo "BENCH_serving.json missing from release artifacts" >&2
+      exit 1
+    }
+    echo "BENCH_serving.json:"
+    cat "$BUILD/BENCH_serving.json"
     ;;
   asan-ubsan)
     BUILD="$ROOT/build-ci-asan"

@@ -11,6 +11,7 @@
 #include "core/explain_ti_model.h"
 #include "core/inference_session.h"
 #include "data/wiki_generator.h"
+#include "serve/server.h"
 #include "util/timer.h"
 
 using explainti::core::ExplainTiConfig;
@@ -92,5 +93,35 @@ int main() {
   if (!z.degradation_note.empty()) {
     std::printf("note: %s\n", z.degradation_note.c_str());
   }
+
+  // 5. Serve under load: the InferenceServer wraps the same session in a
+  // bounded admission queue + dynamic micro-batcher + worker pool.
+  // Requests carry monotonic deadlines; batching never changes numerics
+  // (responses are bit-identical to the direct session calls above).
+  explainti::serve::ServerOptions server_options;
+  server_options.num_workers = 2;
+  server_options.batcher.max_batch_size = 8;
+  server_options.batcher.max_queue_wait_us = 1000;
+  explainti::serve::InferenceServer server(session, server_options);
+
+  explainti::serve::ServeRequest request;
+  request.method = explainti::serve::ServeMethod::kPredict;
+  request.task = TaskKind::kType;
+  request.sample_id = sample_id;
+  request.deadline_us = explainti::util::DeadlineAfterUs(100'000);  // 100ms.
+  const explainti::serve::ServeResponse response = server.ServeSync(request);
+  if (response.status.ok()) {
+    std::printf("\nserved prediction (batch of %d, %lldus end-to-end):",
+                response.batch_size,
+                static_cast<long long>(response.total_us));
+    for (int label : response.labels) {
+      std::printf(" %s", task.label_names[static_cast<size_t>(label)].c_str());
+    }
+    std::printf("\n");
+  } else {
+    std::printf("\nrequest shed: %s\n", response.status.ToString().c_str());
+  }
+  server.Shutdown();  // Graceful drain; also implied by the destructor.
+  std::printf("server metrics: %s\n", server.metrics().ToJson().c_str());
   return 0;
 }

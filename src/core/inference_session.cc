@@ -40,6 +40,47 @@ Explanation InferenceSession::Explain(TaskKind kind, int sample_id) const {
   return model_->MakeExplanation(kind, std::move(fwd));
 }
 
+namespace {
+
+// Shared fan-out shape for the batched serving entry points: each sample
+// is an independent single-sample call (own guard, own InferenceSeed
+// RNG, writes only its own output slot), so chunking over the pool keeps
+// results bit-identical to the serial per-sample loop at any thread
+// count and any batch composition.
+template <typename Result, typename Fn>
+std::vector<Result> ForEachSample(const std::vector<int>& sample_ids,
+                                  const Fn& fn) {
+  std::vector<Result> results(sample_ids.size());
+  util::ParallelFor(0, static_cast<int64_t>(sample_ids.size()), 1,
+                    [&](int64_t ib, int64_t ie) {
+                      for (int64_t i = ib; i < ie; ++i) {
+                        results[static_cast<size_t>(i)] =
+                            fn(sample_ids[static_cast<size_t>(i)]);
+                      }
+                    });
+  return results;
+}
+
+}  // namespace
+
+std::vector<std::vector<int>> InferenceSession::PredictBatch(
+    TaskKind kind, const std::vector<int>& sample_ids) const {
+  return ForEachSample<std::vector<int>>(
+      sample_ids, [&](int id) { return Predict(kind, id); });
+}
+
+std::vector<std::vector<float>> InferenceSession::PredictProbabilitiesBatch(
+    TaskKind kind, const std::vector<int>& sample_ids) const {
+  return ForEachSample<std::vector<float>>(
+      sample_ids, [&](int id) { return PredictProbabilities(kind, id); });
+}
+
+std::vector<Explanation> InferenceSession::ExplainBatch(
+    TaskKind kind, const std::vector<int>& sample_ids) const {
+  return ForEachSample<Explanation>(
+      sample_ids, [&](int id) { return Explain(kind, id); });
+}
+
 std::vector<std::vector<float>> InferenceSession::EncodeBatch(
     TaskKind kind, const std::vector<int>& sample_ids) const {
   const TaskData& task = model_->Task(kind);

@@ -55,6 +55,25 @@ class InferenceSession {
   /// Prediction plus the multi-view explanation set Z.
   Explanation Explain(TaskKind kind, int sample_id) const;
 
+  /// Batched Predict: one label vector per entry of `sample_ids`, fanned
+  /// out across the pool (each chunk under its own guard/workspace).
+  /// Outputs are bit-identical to per-sample Predict — every sample still
+  /// runs the same single-sample forward with its own InferenceSeed RNG,
+  /// so results do not depend on batch composition or thread count. This
+  /// is the dispatch point for the serve::InferenceServer micro-batcher.
+  std::vector<std::vector<int>> PredictBatch(
+      TaskKind kind, const std::vector<int>& sample_ids) const;
+
+  /// Batched PredictProbabilities; same contract as PredictBatch.
+  std::vector<std::vector<float>> PredictProbabilitiesBatch(
+      TaskKind kind, const std::vector<int>& sample_ids) const;
+
+  /// Batched Explain; same contract as PredictBatch. Each returned
+  /// Explanation carries its own per-sample ANN degradation flag/note —
+  /// batching never drops the annotation.
+  std::vector<Explanation> ExplainBatch(
+      TaskKind kind, const std::vector<int>& sample_ids) const;
+
   /// [CLS] embeddings for `sample_ids`, encoded in parallel across the
   /// pool (each worker under its own guard/workspace). Feeds the GE/SE
   /// embedding-store rebuilds.

@@ -1,0 +1,155 @@
+#include "serve/batcher.h"
+
+#include <algorithm>
+#include <chrono>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace explainti::serve {
+
+namespace {
+
+// Reconstructs a steady_clock time point from MonotonicNowUs
+// microseconds (same epoch, truncated to 1us).
+std::chrono::steady_clock::time_point ToTimePoint(int64_t monotonic_us) {
+  return std::chrono::steady_clock::time_point(
+      std::chrono::duration_cast<std::chrono::steady_clock::duration>(
+          std::chrono::microseconds(monotonic_us)));
+}
+
+}  // namespace
+
+MicroBatcher::MicroBatcher(const BatcherOptions& options) : options_(options) {
+  CHECK(options_.max_batch_size >= 1) << "max_batch_size must be >= 1";
+  CHECK(options_.max_queue_depth >= 1) << "max_queue_depth must be >= 1";
+  CHECK(options_.max_queue_wait_us >= 0) << "max_queue_wait_us must be >= 0";
+}
+
+util::Status MicroBatcher::Push(PendingRequest pending) {
+  std::lock_guard<std::mutex> lock(mu_);
+  if (shutdown_) {
+    return util::Status::FailedPrecondition(
+        "admission closed: server is shutting down");
+  }
+  if (static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
+    return util::Status::ResourceExhausted(
+        "admission queue full (max_queue_depth=" +
+        std::to_string(options_.max_queue_depth) + ")");
+  }
+  pending.request.arrival_us = util::MonotonicNowUs();
+  queue_.push_back(std::move(pending));
+  high_water_ =
+      std::max(high_water_, static_cast<int64_t>(queue_.size()));
+  work_cv_.notify_one();
+  return util::Status::OK();
+}
+
+bool MicroBatcher::PopBatch(std::vector<PendingRequest>* batch,
+                            std::vector<PendingRequest>* expired) {
+  batch->clear();
+  expired->clear();
+  std::unique_lock<std::mutex> lock(mu_);
+  for (;;) {
+    work_cv_.wait(lock, [&] { return shutdown_ || !queue_.empty(); });
+    if (queue_.empty()) return false;  // Shut down and drained.
+
+    // 1. Sweep requests whose deadline passed while queued: they are
+    // handed back separately so the worker fails them without running
+    // any inference.
+    const int64_t now = util::MonotonicNowUs();
+    for (auto it = queue_.begin(); it != queue_.end();) {
+      if (util::DeadlineExpired(it->request.deadline_us, now)) {
+        expired->push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    if (queue_.empty()) {
+      if (!expired->empty()) return true;
+      if (shutdown_) return false;
+      continue;
+    }
+
+    // 2. The oldest request leads; count how many queued requests could
+    // join its batch.
+    const ServeMethod leader_method = queue_.front().request.method;
+    const core::TaskKind leader_task = queue_.front().request.task;
+    int compatible = 0;
+    for (const PendingRequest& p : queue_) {
+      if (p.request.method == leader_method && p.request.task == leader_task) {
+        if (++compatible >= options_.max_batch_size) break;
+      }
+    }
+
+    // 3. Dispatch when the batch is full, the leader has waited long
+    // enough, or we are draining. Otherwise sleep until the leader's
+    // fill window (or the earliest queued deadline) and re-evaluate.
+    const int64_t full_by =
+        queue_.front().request.arrival_us + options_.max_queue_wait_us;
+    const bool ready = shutdown_ ||
+                       compatible >= options_.max_batch_size ||
+                       now >= full_by;
+    if (!ready) {
+      if (!expired->empty()) return true;  // Fail these now; batch later.
+      int64_t wake_at = full_by;
+      for (const PendingRequest& p : queue_) {
+        if (p.request.deadline_us != util::kNoDeadline) {
+          wake_at = std::min(wake_at, p.request.deadline_us);
+        }
+      }
+      const size_t depth_at_wait = queue_.size();
+      work_cv_.wait_until(lock, ToTimePoint(wake_at), [&] {
+        return shutdown_ || queue_.size() != depth_at_wait;
+      });
+      continue;
+    }
+
+    for (auto it = queue_.begin();
+         it != queue_.end() &&
+         batch->size() < static_cast<size_t>(options_.max_batch_size);) {
+      if (it->request.method == leader_method &&
+          it->request.task == leader_task) {
+        batch->push_back(std::move(*it));
+        it = queue_.erase(it);
+      } else {
+        ++it;
+      }
+    }
+    // Leftover (incompatible) requests may already form another batch —
+    // hand them to a sibling consumer instead of waiting for the next
+    // Push.
+    if (!queue_.empty()) work_cv_.notify_one();
+    return true;
+  }
+}
+
+void MicroBatcher::Shutdown() {
+  std::lock_guard<std::mutex> lock(mu_);
+  shutdown_ = true;
+  work_cv_.notify_all();
+}
+
+std::vector<PendingRequest> MicroBatcher::Flush() {
+  std::lock_guard<std::mutex> lock(mu_);
+  std::vector<PendingRequest> remaining;
+  remaining.reserve(queue_.size());
+  while (!queue_.empty()) {
+    remaining.push_back(std::move(queue_.front()));
+    queue_.pop_front();
+  }
+  return remaining;
+}
+
+int64_t MicroBatcher::size() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return static_cast<int64_t>(queue_.size());
+}
+
+int64_t MicroBatcher::high_water() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return high_water_;
+}
+
+}  // namespace explainti::serve

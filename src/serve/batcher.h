@@ -1,0 +1,92 @@
+#ifndef EXPLAINTI_SERVE_BATCHER_H_
+#define EXPLAINTI_SERVE_BATCHER_H_
+
+#include <condition_variable>
+#include <cstdint>
+#include <deque>
+#include <mutex>
+#include <vector>
+
+#include "serve/request.h"
+#include "util/status.h"
+
+namespace explainti::serve {
+
+/// Tuning knobs for the admission queue and batch coalescing.
+struct BatcherOptions {
+  /// Largest coalesced batch handed to a worker.
+  int max_batch_size = 8;
+  /// How long the oldest queued request may wait for its batch to fill
+  /// before the batcher dispatches a partial batch. 0 = dispatch
+  /// immediately (batching only under instantaneous bursts).
+  int64_t max_queue_wait_us = 2000;
+  /// Bound on queued (admitted, not yet dispatched) requests. Push
+  /// rejects with kResourceExhausted beyond this — the server sheds load
+  /// instead of buffering unboundedly.
+  int max_queue_depth = 256;
+};
+
+/// Condition-variable-driven dynamic micro-batcher: a bounded MPMC
+/// admission queue whose consumers receive *coalesced batches* of
+/// compatible requests (same method + task) instead of single items.
+///
+/// Dispatch discipline, in order:
+///   1. Expired requests (monotonic deadline passed while queued) are
+///      swept out on every pop and returned separately so the worker can
+///      fail them with kDeadlineExceeded before they consume compute.
+///   2. The oldest queued request leads the batch; compatible requests
+///      anywhere in the queue join it, up to max_batch_size.
+///   3. A partial batch dispatches once the leader has waited
+///      max_queue_wait_us (or immediately on shutdown); a full batch
+///      dispatches at once. Incompatible requests keep their arrival
+///      order for the next pop.
+///
+/// Thread-safe: any number of producers (Push) and consumers (PopBatch).
+class MicroBatcher {
+ public:
+  explicit MicroBatcher(const BatcherOptions& options);
+
+  MicroBatcher(const MicroBatcher&) = delete;
+  MicroBatcher& operator=(const MicroBatcher&) = delete;
+
+  /// Admits one request, stamping request.arrival_us. Fails with
+  /// kResourceExhausted when the queue is at max_queue_depth and with
+  /// kFailedPrecondition after Shutdown; in both cases the callback is
+  /// NOT invoked and ownership stays with the caller.
+  util::Status Push(PendingRequest pending);
+
+  /// Blocks until work is available, then fills `batch` (one coalesced,
+  /// compatible batch; possibly empty) and `expired` (requests whose
+  /// deadline passed in the queue). Returns false only when the batcher
+  /// is shut down AND drained — after which neither vector has content
+  /// and the consumer should exit. Both vectors are cleared first and
+  /// keep their capacity across calls.
+  bool PopBatch(std::vector<PendingRequest>* batch,
+                std::vector<PendingRequest>* expired);
+
+  /// Stops admissions and wakes all consumers. Already-admitted requests
+  /// remain poppable so consumers can drain gracefully. Idempotent.
+  void Shutdown();
+
+  /// Pops every remaining queued request (no coalescing, no waiting).
+  /// For terminal cleanup when no consumer threads exist.
+  std::vector<PendingRequest> Flush();
+
+  /// Current queued depth (admitted, not yet dispatched).
+  int64_t size() const;
+  /// Highest depth ever observed — proof the queue stays bounded.
+  int64_t high_water() const;
+
+ private:
+  const BatcherOptions options_;
+
+  mutable std::mutex mu_;
+  std::condition_variable work_cv_;
+  std::deque<PendingRequest> queue_;
+  bool shutdown_ = false;
+  int64_t high_water_ = 0;
+};
+
+}  // namespace explainti::serve
+
+#endif  // EXPLAINTI_SERVE_BATCHER_H_

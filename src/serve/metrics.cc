@@ -1,0 +1,157 @@
+#include "serve/metrics.h"
+
+#include <algorithm>
+#include <functional>
+#include <map>
+#include <sstream>
+
+#include "util/logging.h"
+
+namespace explainti::serve {
+
+Histogram::Histogram(std::vector<int64_t> upper_bounds)
+    : upper_bounds_(std::move(upper_bounds)),
+      buckets_(new std::atomic<int64_t>[upper_bounds_.size() + 1]) {
+  CHECK(!upper_bounds_.empty()) << "histogram needs at least one bucket";
+  for (size_t i = 1; i < upper_bounds_.size(); ++i) {
+    CHECK(upper_bounds_[i] > upper_bounds_[i - 1])
+        << "histogram bounds must be strictly increasing";
+  }
+  for (size_t i = 0; i <= upper_bounds_.size(); ++i) {
+    buckets_[i].store(0, std::memory_order_relaxed);
+  }
+}
+
+std::vector<int64_t> Histogram::LatencyBucketsUs() {
+  // 1us .. 10s, roughly x2 per bucket: fine resolution where serving
+  // latencies actually land, bounded bucket count everywhere.
+  return {1,      2,      5,      10,     20,      50,      100,
+          200,    500,    1000,   2000,   5000,    10000,   20000,
+          50000,  100000, 200000, 500000, 1000000, 2000000, 5000000,
+          10000000};
+}
+
+std::vector<int64_t> Histogram::LinearBuckets(int64_t lo, int64_t step,
+                                              int n) {
+  CHECK(step > 0 && n > 0);
+  std::vector<int64_t> bounds(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) bounds[static_cast<size_t>(i)] = lo + step * i;
+  return bounds;
+}
+
+void Histogram::Record(int64_t value) {
+  const auto it =
+      std::lower_bound(upper_bounds_.begin(), upper_bounds_.end(), value);
+  const size_t idx = static_cast<size_t>(it - upper_bounds_.begin());
+  buckets_[idx].fetch_add(1, std::memory_order_relaxed);
+  count_.fetch_add(1, std::memory_order_relaxed);
+  sum_.fetch_add(value, std::memory_order_relaxed);
+}
+
+double Histogram::Mean() const {
+  const int64_t n = Count();
+  return n == 0 ? 0.0 : static_cast<double>(Sum()) / static_cast<double>(n);
+}
+
+std::vector<int64_t> Histogram::BucketCounts() const {
+  std::vector<int64_t> counts(upper_bounds_.size() + 1);
+  for (size_t i = 0; i < counts.size(); ++i) {
+    counts[i] = buckets_[i].load(std::memory_order_relaxed);
+  }
+  return counts;
+}
+
+double Histogram::Percentile(double q) const {
+  const std::vector<int64_t> counts = BucketCounts();
+  int64_t total = 0;
+  for (int64_t c : counts) total += c;
+  if (total == 0) return 0.0;
+  q = std::clamp(q, 0.0, 1.0);
+  const double rank = q * static_cast<double>(total);
+  int64_t seen = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] == 0) continue;
+    if (static_cast<double>(seen + counts[i]) >= rank) {
+      // Linear interpolation inside the bucket [lo, hi].
+      const double lo =
+          i == 0 ? 0.0 : static_cast<double>(upper_bounds_[i - 1]);
+      const double hi = i < upper_bounds_.size()
+                            ? static_cast<double>(upper_bounds_[i])
+                            : lo * 2.0 + 1.0;  // Overflow bucket: best guess.
+      const double within =
+          counts[i] == 0
+              ? 0.0
+              : (rank - static_cast<double>(seen)) /
+                    static_cast<double>(counts[i]);
+      return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
+    }
+    seen += counts[i];
+  }
+  return static_cast<double>(upper_bounds_.back());
+}
+
+MetricsRegistry::Shard& MetricsRegistry::ShardFor(std::string_view name) {
+  return shards_[std::hash<std::string_view>{}(name) % kShards];
+}
+
+Counter* MetricsRegistry::GetCounter(std::string_view name) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.counters.find(std::string(name));
+  if (it == shard.counters.end()) {
+    it = shard.counters
+             .emplace(std::string(name), std::make_unique<Counter>())
+             .first;
+  }
+  return it->second.get();
+}
+
+Histogram* MetricsRegistry::GetHistogram(
+    std::string_view name, const std::vector<int64_t>& upper_bounds) {
+  Shard& shard = ShardFor(name);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.histograms.find(std::string(name));
+  if (it == shard.histograms.end()) {
+    it = shard.histograms
+             .emplace(std::string(name),
+                      std::make_unique<Histogram>(upper_bounds))
+             .first;
+  }
+  return it->second.get();
+}
+
+std::string MetricsRegistry::ToJson() const {
+  // Collect into ordered maps so the export is stable run-to-run.
+  std::map<std::string, int64_t> counters;
+  std::map<std::string, const Histogram*> histograms;
+  for (const Shard& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard.mu);
+    for (const auto& [name, counter] : shard.counters) {
+      counters[name] = counter->Value();
+    }
+    for (const auto& [name, histogram] : shard.histograms) {
+      histograms[name] = histogram.get();
+    }
+  }
+  std::ostringstream json;
+  json << "{\"counters\": {";
+  bool first = true;
+  for (const auto& [name, value] : counters) {
+    json << (first ? "" : ", ") << "\"" << name << "\": " << value;
+    first = false;
+  }
+  json << "}, \"histograms\": {";
+  first = true;
+  for (const auto& [name, h] : histograms) {
+    json << (first ? "" : ", ") << "\"" << name
+         << "\": {\"count\": " << h->Count() << ", \"mean\": " << h->Mean()
+         << ", \"p50\": " << h->Percentile(0.50)
+         << ", \"p90\": " << h->Percentile(0.90)
+         << ", \"p99\": " << h->Percentile(0.99) << "}";
+    first = false;
+  }
+  json << "}}";
+  return json.str();
+}
+
+}  // namespace explainti::serve

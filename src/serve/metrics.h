@@ -1,0 +1,112 @@
+#ifndef EXPLAINTI_SERVE_METRICS_H_
+#define EXPLAINTI_SERVE_METRICS_H_
+
+#include <atomic>
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+namespace explainti::serve {
+
+/// Monotonically increasing counter. Updates are a single relaxed atomic
+/// add — safe from any thread, never locks.
+class Counter {
+ public:
+  void Increment(int64_t n = 1) {
+    value_.fetch_add(n, std::memory_order_relaxed);
+  }
+  int64_t Value() const { return value_.load(std::memory_order_relaxed); }
+
+ private:
+  std::atomic<int64_t> value_{0};
+};
+
+/// Fixed-bucket histogram for latency-like int64 samples.
+///
+/// Bucket upper bounds are fixed at construction; Record() is a binary
+/// search plus three relaxed atomic adds (bucket count, total count,
+/// sum), so concurrent recording never locks. Percentiles are estimated
+/// from the bucket counts with linear interpolation inside the bucket —
+/// exact enough for p50/p99 dashboards, cheap enough for per-request
+/// recording.
+class Histogram {
+ public:
+  /// `upper_bounds` must be strictly increasing; an implicit overflow
+  /// bucket catches everything above the last bound.
+  explicit Histogram(std::vector<int64_t> upper_bounds);
+
+  /// Exponential 1us .. ~10s bounds, the default for latency histograms.
+  static std::vector<int64_t> LatencyBucketsUs();
+  /// Linear bounds {lo, lo+step, ...} with `n` buckets (for batch sizes).
+  static std::vector<int64_t> LinearBuckets(int64_t lo, int64_t step, int n);
+
+  void Record(int64_t value);
+
+  int64_t Count() const { return count_.load(std::memory_order_relaxed); }
+  int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
+  double Mean() const;
+  /// Estimated q-quantile (q in [0, 1]) from the bucket counts; 0 when
+  /// empty. A concurrent snapshot, not a linearizable one.
+  double Percentile(double q) const;
+
+  const std::vector<int64_t>& upper_bounds() const { return upper_bounds_; }
+  /// Per-bucket counts (size = upper_bounds().size() + 1; last entry is
+  /// the overflow bucket).
+  std::vector<int64_t> BucketCounts() const;
+
+ private:
+  std::vector<int64_t> upper_bounds_;
+  // One extra slot: the overflow bucket.
+  std::unique_ptr<std::atomic<int64_t>[]> buckets_;
+  std::atomic<int64_t> count_{0};
+  std::atomic<int64_t> sum_{0};
+};
+
+/// Lock-sharded registry of named counters and histograms.
+///
+/// Registration (name → instrument lookup) hashes the name to one of
+/// kShards independently locked maps, so concurrent workers registering
+/// or re-looking-up different names rarely contend; the hot path is to
+/// look an instrument up once and keep the pointer, after which updates
+/// are pure atomics. Instruments live as long as the registry; returned
+/// pointers are stable.
+class MetricsRegistry {
+ public:
+  MetricsRegistry() = default;
+  MetricsRegistry(const MetricsRegistry&) = delete;
+  MetricsRegistry& operator=(const MetricsRegistry&) = delete;
+
+  /// The counter named `name`, created on first use.
+  Counter* GetCounter(std::string_view name);
+
+  /// The histogram named `name`, created on first use with
+  /// `upper_bounds` (ignored on later lookups).
+  Histogram* GetHistogram(std::string_view name,
+                          const std::vector<int64_t>& upper_bounds);
+
+  /// One JSON object with every instrument, names sorted, e.g.
+  ///   {"counters": {"serve.completed": 42, ...},
+  ///    "histograms": {"serve.e2e_us": {"count": 42, "mean": ...,
+  ///                   "p50": ..., "p90": ..., "p99": ...}, ...}}
+  /// A concurrent snapshot: each value is individually atomic.
+  std::string ToJson() const;
+
+ private:
+  static constexpr size_t kShards = 8;
+  struct Shard {
+    mutable std::mutex mu;
+    std::unordered_map<std::string, std::unique_ptr<Counter>> counters;
+    std::unordered_map<std::string, std::unique_ptr<Histogram>> histograms;
+  };
+  Shard& ShardFor(std::string_view name);
+
+  Shard shards_[kShards];
+};
+
+}  // namespace explainti::serve
+
+#endif  // EXPLAINTI_SERVE_METRICS_H_

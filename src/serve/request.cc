@@ -1,0 +1,17 @@
+#include "serve/request.h"
+
+namespace explainti::serve {
+
+const char* ServeMethodName(ServeMethod method) {
+  switch (method) {
+    case ServeMethod::kPredict:
+      return "Predict";
+    case ServeMethod::kPredictProbabilities:
+      return "PredictProbabilities";
+    case ServeMethod::kExplain:
+      return "Explain";
+  }
+  return "Unknown";
+}
+
+}  // namespace explainti::serve

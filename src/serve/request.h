@@ -1,0 +1,85 @@
+#ifndef EXPLAINTI_SERVE_REQUEST_H_
+#define EXPLAINTI_SERVE_REQUEST_H_
+
+#include <cstdint>
+#include <functional>
+#include <vector>
+
+#include "core/explanation.h"
+#include "core/task_data.h"
+#include "util/status.h"
+#include "util/timer.h"
+
+namespace explainti::serve {
+
+/// Which InferenceSession entry point a request targets. Requests with
+/// the same (method, task) pair are batch-compatible: the micro-batcher
+/// coalesces them into one dispatch through the session's batched entry
+/// points.
+enum class ServeMethod {
+  kPredict = 0,              ///< Label ids only (cheapest).
+  kPredictProbabilities = 1, ///< Per-label sigma outputs.
+  kExplain = 2,              ///< Prediction + multi-view explanation set Z.
+};
+
+/// Short human-readable name for `method` (e.g. "Predict").
+const char* ServeMethodName(ServeMethod method);
+
+/// One inference request as admitted by the InferenceServer.
+///
+/// `deadline_us` is on the monotonic clock (util::MonotonicNowUs);
+/// util::kNoDeadline means "no limit". A request whose deadline passes
+/// while it is still queued is expired with kDeadlineExceeded before it
+/// consumes any compute. `arrival_us` is stamped by the admission queue;
+/// callers leave it zero.
+struct ServeRequest {
+  ServeMethod method = ServeMethod::kPredict;
+  core::TaskKind task = core::TaskKind::kType;
+  int sample_id = -1;
+  /// Caller-chosen id echoed in the response, for request tracing across
+  /// queue/batch/worker boundaries.
+  uint64_t trace_id = 0;
+  int64_t deadline_us = util::kNoDeadline;  ///< Monotonic; kNoDeadline = none.
+  int64_t arrival_us = 0;  ///< Stamped on admission (monotonic).
+};
+
+/// The response envelope. Exactly one payload field is populated,
+/// selected by the request's method; `status` is OK on success, or one
+/// of kDeadlineExceeded / kResourceExhausted / kFailedPrecondition /
+/// kInvalidArgument when the request was shed.
+struct ServeResponse {
+  util::Status status;
+  uint64_t trace_id = 0;
+
+  std::vector<int> labels;            ///< kPredict.
+  std::vector<float> probabilities;   ///< kPredictProbabilities.
+  /// kExplain: the full multi-view set, including the per-request ANN
+  /// degradation flag/note — batching never strips the annotation.
+  core::Explanation explanation;
+
+  // Serving telemetry, filled for completed (non-rejected) requests.
+  int64_t queue_wait_us = 0;  ///< Admission to batch dispatch.
+  int64_t total_us = 0;       ///< Admission to completion.
+  int batch_size = 0;         ///< Size of the coalesced batch served with.
+};
+
+/// Completion callback. Invoked exactly once per admitted request, from a
+/// worker thread (or from Shutdown for requests that could not be
+/// served). Must not block for long and must not re-enter the server.
+using ServeCallback = std::function<void(ServeResponse&&)>;
+
+/// A queued request with its completion callback; the unit the admission
+/// queue and micro-batcher operate on.
+struct PendingRequest {
+  ServeRequest request;
+  ServeCallback on_done;
+};
+
+/// Can `a` and `b` ride in the same coalesced batch?
+inline bool CompatibleForBatch(const ServeRequest& a, const ServeRequest& b) {
+  return a.method == b.method && a.task == b.task;
+}
+
+}  // namespace explainti::serve
+
+#endif  // EXPLAINTI_SERVE_REQUEST_H_

@@ -1,0 +1,214 @@
+#include "serve/server.h"
+
+#include <condition_variable>
+#include <utility>
+
+#include "util/logging.h"
+#include "util/timer.h"
+
+namespace explainti::serve {
+
+InferenceServer::InferenceServer(const core::InferenceSession& session,
+                                 const ServerOptions& options,
+                                 MetricsRegistry* metrics)
+    : session_(&session),
+      options_(options),
+      owned_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>()
+                                        : nullptr),
+      metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
+      batcher_(options.batcher) {
+  CHECK(options_.num_workers >= 0) << "num_workers must be >= 0";
+  workers_.reserve(static_cast<size_t>(options_.num_workers));
+  for (int i = 0; i < options_.num_workers; ++i) {
+    workers_.emplace_back([this] { WorkerLoop(); });
+  }
+}
+
+InferenceServer::~InferenceServer() { Shutdown(); }
+
+util::Status InferenceServer::Submit(ServeRequest request,
+                                     ServeCallback on_done) {
+  CHECK(on_done) << "Submit requires a completion callback";
+  // Admission-time validation: malformed requests are rejected here so
+  // they never occupy queue slots or reach a worker.
+  if (!session_->HasTask(request.task)) {
+    metrics_->GetCounter("serve.rejected_invalid")->Increment();
+    return util::Status::InvalidArgument("task not available on this model");
+  }
+  const core::TaskData& task = session_->task_data(request.task);
+  if (request.sample_id < 0 ||
+      request.sample_id >= static_cast<int>(task.samples.size())) {
+    metrics_->GetCounter("serve.rejected_invalid")->Increment();
+    return util::Status::InvalidArgument(
+        "sample_id " + std::to_string(request.sample_id) +
+        " out of range [0, " + std::to_string(task.samples.size()) + ")");
+  }
+
+  PendingRequest pending;
+  pending.request = request;
+  pending.on_done = std::move(on_done);
+  util::Status admitted = batcher_.Push(std::move(pending));
+  if (admitted.ok()) {
+    metrics_->GetCounter("serve.accepted")->Increment();
+  } else if (admitted.code() == util::StatusCode::kResourceExhausted) {
+    metrics_->GetCounter("serve.rejected_queue_full")->Increment();
+  } else {
+    metrics_->GetCounter("serve.rejected_shutdown")->Increment();
+  }
+  return admitted;
+}
+
+ServeResponse InferenceServer::ServeSync(ServeRequest request) {
+  struct SyncState {
+    std::mutex mu;
+    std::condition_variable cv;
+    bool done = false;
+    ServeResponse response;
+  } state;
+  const uint64_t trace_id = request.trace_id;
+  const util::Status admitted =
+      Submit(std::move(request), [&state](ServeResponse&& response) {
+        std::lock_guard<std::mutex> lock(state.mu);
+        state.response = std::move(response);
+        state.done = true;
+        state.cv.notify_one();
+      });
+  if (!admitted.ok()) {
+    ServeResponse rejected;
+    rejected.status = admitted;
+    rejected.trace_id = trace_id;
+    return rejected;
+  }
+  std::unique_lock<std::mutex> lock(state.mu);
+  state.cv.wait(lock, [&state] { return state.done; });
+  return std::move(state.response);
+}
+
+void InferenceServer::Shutdown() {
+  std::lock_guard<std::mutex> lock(shutdown_mu_);
+  if (stopped_) return;
+  stopped_ = true;
+  batcher_.Shutdown();
+  // Workers drain the queue completely before PopBatch returns false, so
+  // every accepted request is served before the join returns.
+  for (std::thread& worker : workers_) worker.join();
+  workers_.clear();
+  // Only reachable with num_workers == 0: nobody drained, so fail the
+  // leftovers rather than dropping their callbacks.
+  std::vector<PendingRequest> leftovers = batcher_.Flush();
+  for (PendingRequest& pending : leftovers) {
+    ServeResponse response;
+    response.status = util::Status::FailedPrecondition(
+        "server shut down before the request was served");
+    response.trace_id = pending.request.trace_id;
+    metrics_->GetCounter("serve.rejected_shutdown")->Increment();
+    pending.on_done(std::move(response));
+  }
+}
+
+void InferenceServer::WorkerLoop() {
+  // Batch vectors live for the worker's lifetime and keep their capacity
+  // across iterations; each per-sample forward inside ExecuteBatch runs
+  // under its own InferenceModeGuard with the executing thread's
+  // Workspace arena, so the steady-state loop performs no tensor heap
+  // allocations.
+  std::vector<PendingRequest> batch;
+  std::vector<PendingRequest> expired;
+  while (batcher_.PopBatch(&batch, &expired)) {
+    FailExpired(expired, metrics_);
+    if (!batch.empty()) ExecuteBatch(*session_, batch, metrics_);
+  }
+}
+
+void InferenceServer::FailExpired(std::vector<PendingRequest>& expired,
+                                  MetricsRegistry* metrics) {
+  if (expired.empty()) return;
+  if (metrics != nullptr) {
+    metrics->GetCounter("serve.deadline_expired")
+        ->Increment(static_cast<int64_t>(expired.size()));
+  }
+  for (PendingRequest& pending : expired) {
+    ServeResponse response;
+    response.status = util::Status::DeadlineExceeded(
+        "deadline passed while queued; request shed before execution");
+    response.trace_id = pending.request.trace_id;
+    pending.on_done(std::move(response));
+  }
+}
+
+void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
+                                   std::vector<PendingRequest>& batch,
+                                   MetricsRegistry* metrics) {
+  if (batch.empty()) return;
+  const ServeMethod method = batch.front().request.method;
+  const core::TaskKind task = batch.front().request.task;
+  const int64_t dispatch_us = util::MonotonicNowUs();
+
+  std::vector<int> ids;
+  ids.reserve(batch.size());
+  for (const PendingRequest& pending : batch) {
+    CHECK(CompatibleForBatch(batch.front().request, pending.request))
+        << "incompatible request coalesced into one batch";
+    ids.push_back(pending.request.sample_id);
+  }
+
+  std::vector<ServeResponse> responses(batch.size());
+  switch (method) {
+    case ServeMethod::kPredict: {
+      std::vector<std::vector<int>> labels = session.PredictBatch(task, ids);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        responses[i].labels = std::move(labels[i]);
+      }
+      break;
+    }
+    case ServeMethod::kPredictProbabilities: {
+      std::vector<std::vector<float>> probs =
+          session.PredictProbabilitiesBatch(task, ids);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        responses[i].probabilities = std::move(probs[i]);
+      }
+      break;
+    }
+    case ServeMethod::kExplain: {
+      std::vector<core::Explanation> explanations =
+          session.ExplainBatch(task, ids);
+      for (size_t i = 0; i < batch.size(); ++i) {
+        // Whole-struct move: the ann_degraded flag and degradation_note
+        // ride along with the views, per request.
+        responses[i].explanation = std::move(explanations[i]);
+      }
+      break;
+    }
+  }
+
+  const int64_t done_us = util::MonotonicNowUs();
+  Histogram* queue_wait = nullptr;
+  Histogram* e2e = nullptr;
+  if (metrics != nullptr) {
+    queue_wait = metrics->GetHistogram("serve.queue_wait_us",
+                                       Histogram::LatencyBucketsUs());
+    e2e = metrics->GetHistogram("serve.e2e_us",
+                                Histogram::LatencyBucketsUs());
+    metrics->GetCounter("serve.batches")->Increment();
+    metrics->GetCounter("serve.completed")
+        ->Increment(static_cast<int64_t>(batch.size()));
+    metrics
+        ->GetHistogram("serve.batch_size",
+                       Histogram::LinearBuckets(1, 1, 32))
+        ->Record(static_cast<int64_t>(batch.size()));
+  }
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PendingRequest& pending = batch[i];
+    ServeResponse& response = responses[i];
+    response.status = util::Status::OK();
+    response.trace_id = pending.request.trace_id;
+    response.queue_wait_us = dispatch_us - pending.request.arrival_us;
+    response.total_us = done_us - pending.request.arrival_us;
+    response.batch_size = static_cast<int>(batch.size());
+    if (queue_wait != nullptr) queue_wait->Record(response.queue_wait_us);
+    if (e2e != nullptr) e2e->Record(response.total_us);
+    pending.on_done(std::move(response));
+  }
+}
+
+}  // namespace explainti::serve

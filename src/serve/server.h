@@ -1,0 +1,114 @@
+#ifndef EXPLAINTI_SERVE_SERVER_H_
+#define EXPLAINTI_SERVE_SERVER_H_
+
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "core/inference_session.h"
+#include "serve/batcher.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+#include "util/status.h"
+
+namespace explainti::serve {
+
+/// Server shape: worker count plus the admission/batching knobs.
+struct ServerOptions {
+  /// Worker threads executing coalesced batches. 0 is allowed (no
+  /// execution happens; tests drive ExecuteBatch directly and Shutdown
+  /// fails whatever is still queued).
+  int num_workers = 2;
+  BatcherOptions batcher;
+};
+
+/// Dynamic micro-batching inference server over a frozen
+/// core::InferenceSession.
+///
+///   clients --Submit/ServeSync--> [bounded admission queue]
+///                                        | coalesce (method, task),
+///                                        | expire past-deadline
+///                                        v
+///                                  MicroBatcher::PopBatch
+///                                        |
+///                  +---------------------+--------------------+
+///                  v                     v                    v
+///              worker 0              worker 1   ...       worker N-1
+///         (ExecuteBatch: batched InferenceSession entry points; each
+///          per-sample forward runs under its own InferenceModeGuard +
+///          per-thread Workspace arena)
+///
+/// Admission control: Submit validates the request and rejects
+/// immediately — kInvalidArgument for unknown task/sample,
+/// kResourceExhausted when the bounded queue is full (load shedding, not
+/// buffering), kFailedPrecondition after Shutdown. Accepted requests are
+/// guaranteed exactly one completion callback: with a served (OK or
+/// kDeadlineExceeded) response from a worker, or — only when
+/// num_workers == 0 — a kFailedPrecondition response from Shutdown.
+///
+/// Results are bit-identical to calling the InferenceSession directly:
+/// batching changes scheduling, never numerics (golden-tested in
+/// tests/serve_test.cc).
+class InferenceServer {
+ public:
+  /// `session` must outlive the server. `metrics` may be null, in which
+  /// case the server owns a private registry; pass a shared registry to
+  /// aggregate several servers into one exporter.
+  explicit InferenceServer(const core::InferenceSession& session,
+                           const ServerOptions& options = {},
+                           MetricsRegistry* metrics = nullptr);
+
+  InferenceServer(const InferenceServer&) = delete;
+  InferenceServer& operator=(const InferenceServer&) = delete;
+
+  /// Drains and joins (Shutdown()).
+  ~InferenceServer();
+
+  /// Admits one request. On a non-OK return the callback will never be
+  /// invoked; on OK it is invoked exactly once, from a worker thread.
+  util::Status Submit(ServeRequest request, ServeCallback on_done);
+
+  /// Blocking convenience: admits `request` and waits for its response.
+  /// Rejections come back as a response with the rejecting status.
+  ServeResponse ServeSync(ServeRequest request);
+
+  /// Graceful drain: closes admissions, serves every already-accepted
+  /// request, then joins the workers. Idempotent; also run by the
+  /// destructor.
+  void Shutdown();
+
+  MetricsRegistry& metrics() { return *metrics_; }
+  const MicroBatcher& batcher() const { return batcher_; }
+  const ServerOptions& options() const { return options_; }
+
+  /// Executes one coalesced batch (all entries batch-compatible) against
+  /// `session` and completes every request: the worker-loop body, public
+  /// so tests and benches can drive it on their own thread (e.g. the
+  /// steady-state zero-alloc assertion). `metrics` may be null.
+  static void ExecuteBatch(const core::InferenceSession& session,
+                           std::vector<PendingRequest>& batch,
+                           MetricsRegistry* metrics);
+
+  /// Completes `expired` requests with kDeadlineExceeded (no compute).
+  /// `metrics` may be null.
+  static void FailExpired(std::vector<PendingRequest>& expired,
+                          MetricsRegistry* metrics);
+
+ private:
+  void WorkerLoop();
+
+  const core::InferenceSession* session_;
+  const ServerOptions options_;
+  std::unique_ptr<MetricsRegistry> owned_metrics_;
+  MetricsRegistry* metrics_;
+  MicroBatcher batcher_;
+  std::vector<std::thread> workers_;
+
+  std::mutex shutdown_mu_;
+  bool stopped_ = false;  // Guarded by shutdown_mu_.
+};
+
+}  // namespace explainti::serve
+
+#endif  // EXPLAINTI_SERVE_SERVER_H_

@@ -23,6 +23,12 @@ enum class StatusCode {
   kInternal,
   kIoError,
   kUnimplemented,
+  /// A request's monotonic deadline passed before the work ran; the
+  /// serving layer sheds such requests before they consume compute.
+  kDeadlineExceeded,
+  /// A bounded resource (admission queue, memory budget) is full; the
+  /// caller should back off and retry rather than expect buffering.
+  kResourceExhausted,
 };
 
 /// Returns a short human-readable name for `code` (e.g. "InvalidArgument").
@@ -66,6 +72,12 @@ class Status {
   }
   static Status Unimplemented(std::string msg) {
     return Status(StatusCode::kUnimplemented, std::move(msg));
+  }
+  static Status DeadlineExceeded(std::string msg) {
+    return Status(StatusCode::kDeadlineExceeded, std::move(msg));
+  }
+  static Status ResourceExhausted(std::string msg) {
+    return Status(StatusCode::kResourceExhausted, std::move(msg));
   }
 
   bool ok() const { return code_ == StatusCode::kOk; }

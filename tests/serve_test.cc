@@ -1,0 +1,615 @@
+#include "serve/server.h"
+
+#include <atomic>
+#include <condition_variable>
+#include <cstring>
+#include <mutex>
+#include <string>
+#include <thread>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/explain_ti_model.h"
+#include "data/wiki_generator.h"
+#include "serve/batcher.h"
+#include "serve/metrics.h"
+#include "serve/request.h"
+#include "tensor/workspace.h"
+#include "util/alloc_counter.h"
+#include "util/fault_injection.h"
+#include "util/thread_pool.h"
+#include "util/timer.h"
+
+namespace explainti::serve {
+namespace {
+
+using core::ExplainTiConfig;
+using core::ExplainTiModel;
+using core::Explanation;
+using core::InferenceSession;
+using core::TaskKind;
+
+// Restores the global pool to the environment-configured size when a
+// test that sweeps thread counts finishes, so test order doesn't matter.
+class GlobalPoolGuard {
+ public:
+  GlobalPoolGuard() = default;
+  ~GlobalPoolGuard() {
+    util::SetGlobalThreadCount(util::ConfiguredThreadCount());
+  }
+};
+
+// One shared frozen model for the whole suite: the serving layer never
+// mutates weights, so every test can read through the same session.
+struct SharedModel {
+  SharedModel() : corpus(MakeCorpus()), model(MakeConfig(), corpus) {
+    model.RefreshStores();
+  }
+  static data::TableCorpus MakeCorpus() {
+    data::WikiTableOptions options;
+    options.num_tables = 28;
+    return data::GenerateWikiTableCorpus(options);
+  }
+  static ExplainTiConfig MakeConfig() {
+    ExplainTiConfig config;
+    config.sample_size = 4;
+    config.top_k = 3;
+    return config;
+  }
+  data::TableCorpus corpus;
+  ExplainTiModel model;
+};
+
+const SharedModel& Shared() {
+  static const SharedModel* shared = new SharedModel();
+  return *shared;
+}
+
+std::vector<int> SampleIds(int count) {
+  const core::TaskData& task = Shared().model.task_data(TaskKind::kType);
+  std::vector<int> ids;
+  const int n = static_cast<int>(task.samples.size());
+  for (int id = 0; id < n && static_cast<int>(ids.size()) < count; ++id) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+void ExpectBitEqual(const std::vector<float>& a, const std::vector<float>& b,
+                    const char* what) {
+  ASSERT_EQ(a.size(), b.size()) << what;
+  if (!a.empty()) {
+    EXPECT_EQ(std::memcmp(a.data(), b.data(), a.size() * sizeof(float)), 0)
+        << what;
+  }
+}
+
+// Collects async responses into preallocated slots and lets the test
+// block until every admitted request completed.
+class Collector {
+ public:
+  explicit Collector(size_t n) : responses_(n), remaining_(n) {}
+
+  ServeCallback Slot(size_t i) {
+    return [this, i](ServeResponse&& response) {
+      responses_[i] = std::move(response);
+      std::lock_guard<std::mutex> lock(mu_);
+      if (--remaining_ == 0) cv_.notify_all();
+    };
+  }
+
+  // For requests rejected at Submit: nothing to wait for.
+  void MarkRejected() {
+    std::lock_guard<std::mutex> lock(mu_);
+    if (--remaining_ == 0) cv_.notify_all();
+  }
+
+  void Wait() {
+    std::unique_lock<std::mutex> lock(mu_);
+    cv_.wait(lock, [this] { return remaining_ == 0; });
+  }
+
+  const ServeResponse& response(size_t i) const { return responses_[i]; }
+
+ private:
+  std::vector<ServeResponse> responses_;
+  std::mutex mu_;
+  std::condition_variable cv_;
+  size_t remaining_;
+};
+
+ServeRequest MakeRequest(ServeMethod method, int sample_id,
+                         uint64_t trace_id = 0) {
+  ServeRequest request;
+  request.method = method;
+  request.task = TaskKind::kType;
+  request.sample_id = sample_id;
+  request.trace_id = trace_id;
+  return request;
+}
+
+// ---------------------------------------------------------------------------
+// Golden bit-equality: batched serving must produce exactly what direct
+// InferenceSession calls produce, at several batch sizes.
+// ---------------------------------------------------------------------------
+
+class GoldenBatchTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(GoldenBatchTest, ServerMatchesDirectSessionBitForBit) {
+  const int batch_size = GetParam();
+  const InferenceSession& session = Shared().model.session();
+  const std::vector<int> ids = SampleIds(8);
+
+  // Direct (unbatched) reference results.
+  std::vector<std::vector<int>> want_labels;
+  std::vector<std::vector<float>> want_probs;
+  std::vector<Explanation> want_explanations;
+  for (int id : ids) {
+    want_labels.push_back(session.Predict(TaskKind::kType, id));
+    want_probs.push_back(session.PredictProbabilities(TaskKind::kType, id));
+    want_explanations.push_back(session.Explain(TaskKind::kType, id));
+  }
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.batcher.max_batch_size = batch_size;
+  options.batcher.max_queue_wait_us = 3000;  // Let bursts coalesce.
+  InferenceServer server(session, options);
+
+  // One burst of all three methods; batches form from whatever is queued.
+  Collector collector(3 * ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(server
+                    .Submit(MakeRequest(ServeMethod::kPredict, ids[i], i),
+                            collector.Slot(i))
+                    .ok());
+    ASSERT_TRUE(
+        server
+            .Submit(MakeRequest(ServeMethod::kPredictProbabilities, ids[i]),
+                    collector.Slot(ids.size() + i))
+            .ok());
+    ASSERT_TRUE(server
+                    .Submit(MakeRequest(ServeMethod::kExplain, ids[i]),
+                            collector.Slot(2 * ids.size() + i))
+                    .ok());
+  }
+  collector.Wait();
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const ServeResponse& predict = collector.response(i);
+    ASSERT_TRUE(predict.status.ok()) << predict.status.ToString();
+    EXPECT_EQ(predict.trace_id, i);
+    EXPECT_EQ(predict.labels, want_labels[i]);
+    EXPECT_GE(predict.batch_size, 1);
+    EXPECT_LE(predict.batch_size, batch_size);
+
+    const ServeResponse& probs = collector.response(ids.size() + i);
+    ASSERT_TRUE(probs.status.ok());
+    ExpectBitEqual(probs.probabilities, want_probs[i], "probabilities");
+
+    const ServeResponse& explain = collector.response(2 * ids.size() + i);
+    ASSERT_TRUE(explain.status.ok());
+    EXPECT_EQ(explain.explanation.predicted_labels,
+              want_explanations[i].predicted_labels);
+    ExpectBitEqual(explain.explanation.probabilities,
+                   want_explanations[i].probabilities,
+                   "explanation probabilities");
+    ASSERT_EQ(explain.explanation.global.size(),
+              want_explanations[i].global.size());
+    EXPECT_EQ(explain.explanation.ann_degraded,
+              want_explanations[i].ann_degraded);
+    EXPECT_EQ(explain.explanation.degradation_note,
+              want_explanations[i].degradation_note);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(BatchSizes, GoldenBatchTest,
+                         ::testing::Values(1, 4, 8));
+
+// The batched InferenceSession entry points themselves are bit-identical
+// to per-sample calls at any pool size.
+TEST(BatchedSessionTest, BatchedEntryPointsMatchPerSampleAtAnyThreadCount) {
+  GlobalPoolGuard guard;
+  const InferenceSession& session = Shared().model.session();
+  const std::vector<int> ids = SampleIds(6);
+
+  util::SetGlobalThreadCount(1);
+  const std::vector<std::vector<int>> serial_labels =
+      session.PredictBatch(TaskKind::kType, ids);
+  const std::vector<std::vector<float>> serial_probs =
+      session.PredictProbabilitiesBatch(TaskKind::kType, ids);
+
+  util::SetGlobalThreadCount(4);
+  const std::vector<std::vector<int>> parallel_labels =
+      session.PredictBatch(TaskKind::kType, ids);
+  const std::vector<std::vector<float>> parallel_probs =
+      session.PredictProbabilitiesBatch(TaskKind::kType, ids);
+  const std::vector<Explanation> explanations =
+      session.ExplainBatch(TaskKind::kType, ids);
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(parallel_labels[i], serial_labels[i]);
+    EXPECT_EQ(parallel_labels[i], session.Predict(TaskKind::kType, ids[i]));
+    ExpectBitEqual(parallel_probs[i], serial_probs[i], "probs across pools");
+    EXPECT_EQ(explanations[i].predicted_labels, serial_labels[i]);
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Deadline and admission control.
+// ---------------------------------------------------------------------------
+
+TEST(ServeAdmissionTest, ExpiredDeadlineIsShedBeforeCompute) {
+  const InferenceSession& session = Shared().model.session();
+  ServerOptions options;
+  options.num_workers = 1;
+  InferenceServer server(session, options);
+
+  ServeRequest request = MakeRequest(ServeMethod::kPredict, 0, 77);
+  request.deadline_us = util::MonotonicNowUs() - 1;  // Already expired.
+  const ServeResponse response = server.ServeSync(request);
+  EXPECT_EQ(response.status.code(), util::StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(response.trace_id, 77u);
+  EXPECT_TRUE(response.labels.empty());
+  EXPECT_GE(server.metrics().GetCounter("serve.deadline_expired")->Value(), 1);
+
+  // A sane deadline still serves.
+  request.deadline_us = util::DeadlineAfterUs(30'000'000);
+  EXPECT_TRUE(server.ServeSync(request).status.ok());
+}
+
+TEST(ServeAdmissionTest, QueueOverflowRejectsInsteadOfBuffering) {
+  const InferenceSession& session = Shared().model.session();
+  ServerOptions options;
+  options.num_workers = 0;  // Nothing drains: the queue must stay bounded.
+  options.batcher.max_queue_depth = 3;
+  std::atomic<int> shutdown_failures{0};
+  int accepted = 0;
+  {
+    InferenceServer server(session, options);
+    for (int i = 0; i < 8; ++i) {
+      const util::Status admitted =
+          server.Submit(MakeRequest(ServeMethod::kPredict, 0),
+                        [&](ServeResponse&& response) {
+                          if (!response.status.ok()) ++shutdown_failures;
+                        });
+      if (admitted.ok()) {
+        ++accepted;
+      } else {
+        EXPECT_EQ(admitted.code(), util::StatusCode::kResourceExhausted);
+      }
+    }
+    EXPECT_EQ(accepted, 3);
+    EXPECT_EQ(server.batcher().size(), 3);
+    EXPECT_EQ(server.batcher().high_water(), 3);
+    EXPECT_EQ(server.metrics().GetCounter("serve.rejected_queue_full")->Value(),
+              5);
+  }
+  // With no workers, shutdown fails (but never drops) the accepted ones.
+  EXPECT_EQ(shutdown_failures.load(), 3);
+}
+
+TEST(ServeAdmissionTest, InvalidRequestsRejectedAtSubmit) {
+  const InferenceSession& session = Shared().model.session();
+  InferenceServer server(session);
+  const ServeResponse negative =
+      server.ServeSync(MakeRequest(ServeMethod::kPredict, -1));
+  EXPECT_EQ(negative.status.code(), util::StatusCode::kInvalidArgument);
+  const ServeResponse huge =
+      server.ServeSync(MakeRequest(ServeMethod::kPredict, 1 << 28));
+  EXPECT_EQ(huge.status.code(), util::StatusCode::kInvalidArgument);
+  EXPECT_EQ(server.metrics().GetCounter("serve.rejected_invalid")->Value(), 2);
+}
+
+TEST(ServeAdmissionTest, DrainOnShutdownLosesNoAcceptedRequest) {
+  const InferenceSession& session = Shared().model.session();
+  const std::vector<int> ids = SampleIds(8);
+  std::vector<std::vector<int>> want;
+  for (int id : ids) want.push_back(session.Predict(TaskKind::kType, id));
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.batcher.max_batch_size = 4;
+  options.batcher.max_queue_wait_us = 2000;
+  InferenceServer server(session, options);
+
+  constexpr int kRequests = 32;
+  Collector collector(kRequests);
+  for (int i = 0; i < kRequests; ++i) {
+    ASSERT_TRUE(
+        server
+            .Submit(MakeRequest(ServeMethod::kPredict,
+                                ids[static_cast<size_t>(i) % ids.size()],
+                                static_cast<uint64_t>(i)),
+                    collector.Slot(static_cast<size_t>(i)))
+            .ok());
+  }
+  server.Shutdown();  // Must serve all 32 before returning.
+  collector.Wait();   // Completes immediately if drain held.
+
+  for (int i = 0; i < kRequests; ++i) {
+    const ServeResponse& response = collector.response(static_cast<size_t>(i));
+    ASSERT_TRUE(response.status.ok()) << "request " << i << ": "
+                                      << response.status.ToString();
+    EXPECT_EQ(response.trace_id, static_cast<uint64_t>(i));
+    EXPECT_EQ(response.labels, want[static_cast<size_t>(i) % want.size()]);
+  }
+  EXPECT_EQ(server.metrics().GetCounter("serve.completed")->Value(),
+            kRequests);
+  // Admission is closed after drain.
+  EXPECT_EQ(server
+                .Submit(MakeRequest(ServeMethod::kPredict, ids[0]),
+                        [](ServeResponse&&) {})
+                .code(),
+            util::StatusCode::kFailedPrecondition);
+}
+
+// ---------------------------------------------------------------------------
+// Batcher coalescing.
+// ---------------------------------------------------------------------------
+
+TEST(MicroBatcherTest, CoalescesCompatibleRequestsAndPreservesOrder) {
+  BatcherOptions options;
+  options.max_batch_size = 8;
+  options.max_queue_wait_us = 0;  // Dispatch as soon as a consumer looks.
+  MicroBatcher batcher(options);
+
+  auto push = [&](ServeMethod method, uint64_t trace_id) {
+    PendingRequest pending;
+    pending.request = MakeRequest(method, 0, trace_id);
+    pending.on_done = [](ServeResponse&&) {};
+    ASSERT_TRUE(batcher.Push(std::move(pending)).ok());
+  };
+  push(ServeMethod::kPredict, 1);
+  push(ServeMethod::kExplain, 2);
+  push(ServeMethod::kPredict, 3);
+  push(ServeMethod::kPredict, 4);
+
+  std::vector<PendingRequest> batch, expired;
+  ASSERT_TRUE(batcher.PopBatch(&batch, &expired));
+  EXPECT_TRUE(expired.empty());
+  ASSERT_EQ(batch.size(), 3u);  // The three Predicts, around the Explain.
+  EXPECT_EQ(batch[0].request.trace_id, 1u);
+  EXPECT_EQ(batch[1].request.trace_id, 3u);
+  EXPECT_EQ(batch[2].request.trace_id, 4u);
+
+  ASSERT_TRUE(batcher.PopBatch(&batch, &expired));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.method, ServeMethod::kExplain);
+  EXPECT_EQ(batch[0].request.trace_id, 2u);
+
+  batcher.Shutdown();
+  EXPECT_FALSE(batcher.PopBatch(&batch, &expired));
+}
+
+TEST(MicroBatcherTest, RespectsMaxBatchSize) {
+  BatcherOptions options;
+  options.max_batch_size = 4;
+  options.max_queue_wait_us = 0;
+  MicroBatcher batcher(options);
+  for (uint64_t i = 0; i < 10; ++i) {
+    PendingRequest pending;
+    pending.request = MakeRequest(ServeMethod::kPredict, 0, i);
+    pending.on_done = [](ServeResponse&&) {};
+    ASSERT_TRUE(batcher.Push(std::move(pending)).ok());
+  }
+  std::vector<PendingRequest> batch, expired;
+  ASSERT_TRUE(batcher.PopBatch(&batch, &expired));
+  EXPECT_EQ(batch.size(), 4u);
+  ASSERT_TRUE(batcher.PopBatch(&batch, &expired));
+  EXPECT_EQ(batch.size(), 4u);
+  ASSERT_TRUE(batcher.PopBatch(&batch, &expired));
+  EXPECT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batcher.size(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Metrics registry.
+// ---------------------------------------------------------------------------
+
+TEST(MetricsTest, CountersAndHistogramsAreSharedAndThreadSafe) {
+  MetricsRegistry registry;
+  Counter* counter = registry.GetCounter("test.counter");
+  EXPECT_EQ(counter, registry.GetCounter("test.counter"));  // Stable.
+  Histogram* histogram =
+      registry.GetHistogram("test.latency", Histogram::LatencyBucketsUs());
+
+  constexpr int kThreads = 4;
+  constexpr int kPerThread = 1000;
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int i = 0; i < kPerThread; ++i) {
+        registry.GetCounter("test.counter")->Increment();
+        histogram->Record(t * 100 + i % 100);
+      }
+    });
+  }
+  for (std::thread& thread : threads) thread.join();
+
+  EXPECT_EQ(counter->Value(), kThreads * kPerThread);
+  EXPECT_EQ(histogram->Count(), kThreads * kPerThread);
+  EXPECT_LE(histogram->Percentile(0.50), histogram->Percentile(0.99));
+  EXPECT_GT(histogram->Percentile(0.99), 0.0);
+}
+
+TEST(MetricsTest, JsonSnapshotContainsEveryInstrument) {
+  MetricsRegistry registry;
+  registry.GetCounter("serve.accepted")->Increment(5);
+  registry.GetHistogram("serve.e2e_us", Histogram::LatencyBucketsUs())
+      ->Record(150);
+  const std::string json = registry.ToJson();
+  EXPECT_NE(json.find("\"serve.accepted\": 5"), std::string::npos) << json;
+  EXPECT_NE(json.find("\"serve.e2e_us\""), std::string::npos) << json;
+  EXPECT_NE(json.find("\"p99\""), std::string::npos) << json;
+}
+
+TEST(MetricsTest, HistogramPercentileBracketsRecordedValues) {
+  Histogram histogram(Histogram::LinearBuckets(10, 10, 20));  // 10..200.
+  for (int v = 1; v <= 100; ++v) histogram.Record(v);
+  const double p50 = histogram.Percentile(0.50);
+  EXPECT_GE(p50, 40.0);
+  EXPECT_LE(p50, 60.0);
+  const double p99 = histogram.Percentile(0.99);
+  EXPECT_GE(p99, 90.0);
+  EXPECT_LE(p99, 110.0);
+  EXPECT_EQ(histogram.Sum(), 5050);
+}
+
+// ---------------------------------------------------------------------------
+// Degradation-note propagation: an ANN fault during a *batched* Explain
+// must annotate every affected response, exactly as direct Explain does.
+// ---------------------------------------------------------------------------
+
+TEST(ServeDegradationTest, BatchedExplainCarriesAnnDegradationNote) {
+  const InferenceSession& session = Shared().model.session();
+  const std::vector<int> ids = SampleIds(4);
+
+  ServerOptions options;
+  options.num_workers = 1;
+  options.batcher.max_batch_size = 4;
+  options.batcher.max_queue_wait_us = 3000;
+  InferenceServer server(session, options);
+
+  util::fault::FaultSpec spec;
+  util::fault::FaultRegistry::Instance().Arm("ann.query", spec);
+  Collector degraded(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    ASSERT_TRUE(server
+                    .Submit(MakeRequest(ServeMethod::kExplain, ids[i], i),
+                            degraded.Slot(i))
+                    .ok());
+  }
+  degraded.Wait();
+  util::fault::FaultRegistry::Instance().DisarmAll();
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    const ServeResponse& response = degraded.response(i);
+    ASSERT_TRUE(response.status.ok());
+    EXPECT_TRUE(response.explanation.ann_degraded) << "request " << i;
+    EXPECT_FALSE(response.explanation.degradation_note.empty())
+        << "batched Explain dropped the degradation note on request " << i;
+  }
+
+  // Healthy again: batched responses agree with direct Explain's flag.
+  const Explanation direct = session.Explain(TaskKind::kType, ids[0]);
+  const ServeResponse healthy =
+      server.ServeSync(MakeRequest(ServeMethod::kExplain, ids[0]));
+  ASSERT_TRUE(healthy.status.ok());
+  EXPECT_EQ(healthy.explanation.ann_degraded, direct.ann_degraded);
+  EXPECT_EQ(healthy.explanation.degradation_note, direct.degradation_note);
+}
+
+// ---------------------------------------------------------------------------
+// Steady-state worker loop allocation discipline: the batch-execution
+// body must perform zero tensor heap allocations (all scratch comes from
+// the per-thread Workspace arena) and its remaining heap traffic
+// (response envelopes, id vectors) must be exactly repeatable.
+// ---------------------------------------------------------------------------
+
+TEST(ServeAllocTest, SteadyStateExecuteBatchIsZeroTensorAlloc) {
+  GlobalPoolGuard guard;
+  util::SetGlobalThreadCount(1);  // Chunks run inline on this thread.
+  const InferenceSession& session = Shared().model.session();
+  const std::vector<int> ids = SampleIds(4);
+
+  std::vector<ServeResponse> slots(ids.size());
+  std::vector<PendingRequest> batch(ids.size());
+  for (size_t i = 0; i < ids.size(); ++i) {
+    batch[i].request = MakeRequest(ServeMethod::kPredict, ids[i], i);
+    batch[i].request.arrival_us = util::MonotonicNowUs();
+    ServeResponse* slot = &slots[i];
+    batch[i].on_done = [slot](ServeResponse&& response) {
+      *slot = std::move(response);
+    };
+  }
+
+  auto run = [&] { InferenceServer::ExecuteBatch(session, batch, nullptr); };
+  run();  // Warm-up: populates the per-thread workspace arena.
+  run();  // Second pass so every bucket reaches its high-water mark.
+
+  const tensor::WorkspaceStats before = tensor::ThisThreadWorkspaceStats();
+  const util::AllocCounts heap_before = util::ThisThreadAllocCounts();
+  run();
+  const util::AllocCounts heap_mid = util::ThisThreadAllocCounts();
+  run();
+  const tensor::WorkspaceStats after = tensor::ThisThreadWorkspaceStats();
+  const util::AllocCounts heap_after = util::ThisThreadAllocCounts();
+
+  EXPECT_GT(after.node_acquires, before.node_acquires);
+  EXPECT_EQ(after.node_misses, before.node_misses)
+      << "tensor node fell back to the heap in the steady-state batch loop";
+  EXPECT_EQ(after.buffer_misses, before.buffer_misses)
+      << "tensor buffer fell back to the heap in the steady-state batch loop";
+  EXPECT_EQ(heap_mid.allocations - heap_before.allocations,
+            heap_after.allocations - heap_mid.allocations);
+  EXPECT_EQ(heap_mid.bytes - heap_before.bytes,
+            heap_after.bytes - heap_mid.bytes);
+
+  for (size_t i = 0; i < ids.size(); ++i) {
+    EXPECT_EQ(slots[i].labels, session.Predict(TaskKind::kType, ids[i]));
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Many-client concurrency (exercised under TSan via the tier1 label: the
+// tsan CI job runs this binary with a 4-thread pool).
+// ---------------------------------------------------------------------------
+
+TEST(ServeTsanTest, ManyClientsOneServerStayDeterministic) {
+  const InferenceSession& session = Shared().model.session();
+  const std::vector<int> ids = SampleIds(6);
+  std::vector<std::vector<int>> want_labels;
+  std::vector<std::vector<float>> want_probs;
+  for (int id : ids) {
+    want_labels.push_back(session.Predict(TaskKind::kType, id));
+    want_probs.push_back(session.PredictProbabilities(TaskKind::kType, id));
+  }
+
+  ServerOptions options;
+  options.num_workers = 2;
+  options.batcher.max_batch_size = 4;
+  options.batcher.max_queue_wait_us = 500;
+  InferenceServer server(session, options);
+
+  constexpr int kClients = 4;
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      for (int round = 0; round < 3; ++round) {
+        for (size_t i = 0; i < ids.size(); ++i) {
+          const size_t j = (i + static_cast<size_t>(c)) % ids.size();
+          const ServeResponse predict =
+              server.ServeSync(MakeRequest(ServeMethod::kPredict, ids[j]));
+          if (!predict.status.ok() || predict.labels != want_labels[j]) {
+            failures[static_cast<size_t>(c)] = "Predict mismatch";
+            return;
+          }
+          const ServeResponse probs = server.ServeSync(
+              MakeRequest(ServeMethod::kPredictProbabilities, ids[j]));
+          if (!probs.status.ok() ||
+              probs.probabilities.size() != want_probs[j].size() ||
+              std::memcmp(probs.probabilities.data(), want_probs[j].data(),
+                          want_probs[j].size() * sizeof(float)) != 0) {
+            failures[static_cast<size_t>(c)] = "probability mismatch";
+            return;
+          }
+        }
+      }
+    });
+  }
+  for (std::thread& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<size_t>(c)], "") << "client " << c;
+  }
+  EXPECT_GE(server.metrics()
+                .GetHistogram("serve.batch_size",
+                              Histogram::LinearBuckets(1, 1, 32))
+                ->Count(),
+            1);
+}
+
+}  // namespace
+}  // namespace explainti::serve

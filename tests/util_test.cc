@@ -42,6 +42,16 @@ TEST(StatusTest, StatusOrErrorPath) {
   EXPECT_EQ(result.status().code(), StatusCode::kNotFound);
 }
 
+TEST(StatusTest, ServingCodesRoundTrip) {
+  Status deadline = Status::DeadlineExceeded("request expired in queue");
+  EXPECT_EQ(deadline.code(), StatusCode::kDeadlineExceeded);
+  EXPECT_EQ(deadline.ToString(), "DeadlineExceeded: request expired in queue");
+
+  Status shed = Status::ResourceExhausted("admission queue full");
+  EXPECT_EQ(shed.code(), StatusCode::kResourceExhausted);
+  EXPECT_EQ(shed.ToString(), "ResourceExhausted: admission queue full");
+}
+
 TEST(StatusDeathTest, StatusOrValueOnErrorAbortsWithStatus) {
   StatusOr<int> result = Status::NotFound("missing checkpoint");
   // value() on an error is a programming bug; it must CHECK-fail with the
@@ -218,6 +228,30 @@ TEST(WallTimerTest, ElapsedIsNonNegativeAndMonotonic) {
   const double t2 = timer.ElapsedSeconds();
   EXPECT_GE(t1, 0.0);
   EXPECT_GE(t2, t1);
+}
+
+TEST(DeadlineTest, MonotonicNowAdvances) {
+  const int64_t t1 = MonotonicNowUs();
+  const int64_t t2 = MonotonicNowUs();
+  EXPECT_GT(t1, 0);
+  EXPECT_GE(t2, t1);
+}
+
+TEST(DeadlineTest, DeadlineAfterUsOffsetsFromNow) {
+  const int64_t before = MonotonicNowUs();
+  const int64_t deadline = DeadlineAfterUs(1'000'000);
+  EXPECT_GE(deadline, before + 1'000'000);
+  // An in-the-future deadline is not expired; one in the past is.
+  EXPECT_FALSE(DeadlineExpired(deadline));
+  EXPECT_TRUE(DeadlineExpired(before - 1));
+}
+
+TEST(DeadlineTest, NonPositiveTimeoutMeansNoDeadline) {
+  EXPECT_EQ(DeadlineAfterUs(0), kNoDeadline);
+  EXPECT_EQ(DeadlineAfterUs(-5), kNoDeadline);
+  // kNoDeadline never expires, even against an arbitrarily large now.
+  EXPECT_FALSE(DeadlineExpired(kNoDeadline, kNoDeadline - 1));
+  EXPECT_FALSE(DeadlineExpired(kNoDeadline));
 }
 
 }  // namespace
