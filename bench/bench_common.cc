@@ -1,6 +1,9 @@
 #include "bench/bench_common.h"
 
+#include <algorithm>
 #include <cstdlib>
+#include <sstream>
+#include <thread>
 
 #include "util/string_util.h"
 
@@ -51,6 +54,24 @@ baselines::TransformerBaselineConfig MakeBaselineConfig(
 
 std::string F3(double value) { return util::FormatDouble(value, 3); }
 std::string F1(double value) { return util::FormatDouble(value, 1); }
+
+std::string HostMetaJson() {
+// Stamped by bench/CMakeLists.txt from the configured build; the
+// fallbacks only apply when the library is built outside that file.
+#ifndef EXPLAINTI_BUILD_TYPE
+#define EXPLAINTI_BUILD_TYPE "unknown"
+#endif
+#ifndef EXPLAINTI_BUILD_FLAGS
+#define EXPLAINTI_BUILD_FLAGS ""
+#endif
+  std::ostringstream os;
+  os << "\"host\": {\"hardware_threads\": "
+     << std::max(1u, std::thread::hardware_concurrency())
+     << ", \"build_type\": \"" << EXPLAINTI_BUILD_TYPE
+     << "\", \"build_flags\": \"" << EXPLAINTI_BUILD_FLAGS
+     << "\", \"compiler\": \"" << __VERSION__ << "\"}";
+  return os.str();
+}
 
 eval::ExplanationDataset BuildExplanationDataset(
     const core::TaskData& task,

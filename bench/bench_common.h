@@ -49,6 +49,14 @@ baselines::TransformerBaselineConfig MakeBaselineConfig(
 std::string F3(double value);
 std::string F1(double value);
 
+/// One `"host": {...}` JSON member (no trailing comma) recording the
+/// machine and build every BENCH_*.json was produced on: hardware-thread
+/// count, CMake build type, the compiler flags it implies, and the
+/// compiler itself. Checked-in bench numbers are only comparable with
+/// this context — a 1-thread container and a 16-core bare-metal host
+/// produce wildly different absolute rows (see ROADMAP caveat).
+std::string HostMetaJson();
+
 /// Builds a FRESH sufficiency dataset from per-sample explanation texts.
 /// `explain(sample_id)` must return the explanation text for one sample
 /// of `kind`.

@@ -17,6 +17,7 @@
 #include <string>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "core/explain_ti_model.h"
 #include "core/inference_session.h"
 #include "data/wiki_generator.h"
@@ -190,7 +191,8 @@ int main() {
 
   std::ofstream json("BENCH_inference.json");
   CHECK(json.good()) << "cannot open BENCH_inference.json";
-  json << "{\n  \"calls_per_path\": " << ids.size() * kRounds
+  json << "{\n  " << explainti::bench::HostMetaJson()
+       << ",\n  \"calls_per_path\": " << ids.size() * kRounds
        << ",\n  \"predict\": {\n";
   EmitPath(json, "tape", tape_predict, false);
   EmitPath(json, "nograd", nograd_predict, true);

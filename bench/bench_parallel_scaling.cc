@@ -18,6 +18,7 @@
 #include <thread>
 #include <vector>
 
+#include "bench/bench_common.h"
 #include "ann/hnsw_index.h"
 #include "nn/encoder.h"
 #include "tensor/tensor.h"
@@ -118,7 +119,8 @@ int main() {
 
   std::ofstream json("BENCH_parallel.json");
   CHECK(json.good()) << "cannot open BENCH_parallel.json";
-  json << "{\n  \"hardware_threads\": "
+  json << "{\n  " << explainti::bench::HostMetaJson()
+       << ",\n  \"hardware_threads\": "
        << std::thread::hardware_concurrency() << ",\n  \"workloads\": [\n";
 
   bool first_workload = true;

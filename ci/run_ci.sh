@@ -3,7 +3,10 @@
 #
 #   ci/run_ci.sh release      Release build (warnings-as-errors), full
 #                             ctest suite, parallel-scaling benchmark.
-#   ci/run_ci.sh asan-ubsan   Address+UB sanitizer build, tier1 tests.
+#   ci/run_ci.sh asan-ubsan   Address+UB sanitizer build, tier1 tests
+#                             plus the chaos suite (fault-injection
+#                             paths are exactly where lifetime bugs
+#                             hide, so they run under ASan).
 #   ci/run_ci.sh tsan         ThreadSanitizer build, tier1 tests with
 #                             EXPLAINTI_NUM_THREADS=4 so every parallel
 #                             region actually fans out under TSan.
@@ -62,7 +65,7 @@ case "$JOB" in
     (cd "$BUILD" && \
      ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
      UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
-     ctest -L tier1 --output-on-failure -j "$JOBS")
+     ctest -L 'tier1|chaos' --output-on-failure -j "$JOBS")
     ;;
   tsan)
     BUILD="$ROOT/build-ci-tsan"

@@ -12,62 +12,88 @@ void EmbeddingStore::Rebuild(
     const std::vector<int>& ids,
     const std::vector<std::vector<float>>& embeddings) {
   CHECK_EQ(ids.size(), embeddings.size());
-  hnsw_ = std::make_unique<ann::HnswIndex>(hnsw_options_);
-  flat_ = std::make_unique<ann::FlatIndex>();
-  hnsw_ready_ = true;
-  count_ = 0;
-  degraded_searches_.store(0, std::memory_order_relaxed);
-  embeddings_.clear();
-  present_.clear();
+  // Build the whole snapshot off to the side: readers keep serving the
+  // previous generation until the single publication below.
+  auto snapshot = std::make_shared<Snapshot>();
+  snapshot->hnsw = std::make_unique<ann::HnswIndex>(hnsw_options_);
+  snapshot->flat = std::make_unique<ann::FlatIndex>();
+  snapshot->hnsw_ready = true;
   for (size_t i = 0; i < ids.size(); ++i) {
     const int id = ids[i];
     CHECK_GE(id, 0);
-    if (static_cast<size_t>(id) >= embeddings_.size()) {
-      embeddings_.resize(static_cast<size_t>(id) + 1);
-      present_.resize(static_cast<size_t>(id) + 1, false);
+    if (static_cast<size_t>(id) >= snapshot->embeddings.size()) {
+      snapshot->embeddings.resize(static_cast<size_t>(id) + 1);
+      snapshot->present.resize(static_cast<size_t>(id) + 1, false);
     }
-    CHECK(!present_[static_cast<size_t>(id)]) << "duplicate store id " << id;
-    embeddings_[static_cast<size_t>(id)] = embeddings[i];
-    present_[static_cast<size_t>(id)] = true;
-    flat_->Add(id, embeddings[i]);
-    ++count_;
-    if (hnsw_ready_) {
+    CHECK(!snapshot->present[static_cast<size_t>(id)])
+        << "duplicate store id " << id;
+    snapshot->embeddings[static_cast<size_t>(id)] = embeddings[i];
+    snapshot->present[static_cast<size_t>(id)] = true;
+    snapshot->flat->Add(id, embeddings[i]);
+    ++snapshot->count;
+    if (snapshot->hnsw_ready) {
       if (util::Status fault = FAULT_POINT("store.build"); !fault.ok()) {
         LOG(WARNING) << "HNSW build aborted after " << i
                      << " inserts; store degrades to flat index: "
                      << fault.ToString();
-        hnsw_.reset();
-        hnsw_ready_ = false;
+        snapshot->hnsw.reset();
+        snapshot->hnsw_ready = false;
       } else {
-        hnsw_->Add(id, embeddings[i]);
+        snapshot->hnsw->Add(id, embeddings[i]);
       }
     }
   }
+  std::lock_guard<std::mutex> lock(mu_);
+  snapshot->generation = next_generation_++;
+  current_ = std::move(snapshot);
 }
 
-std::vector<ann::SearchResult> EmbeddingStore::Search(
+EmbeddingStore::View EmbeddingStore::view() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return View(current_);
+}
+
+const std::vector<float>& EmbeddingStore::Embedding(int id) const {
+  std::lock_guard<std::mutex> lock(mu_);
+  CHECK(current_ != nullptr && id >= 0 &&
+        static_cast<size_t>(id) < current_->present.size() &&
+        current_->present[static_cast<size_t>(id)])
+      << "no embedding stored for id " << id;
+  return current_->embeddings[static_cast<size_t>(id)];
+}
+
+int64_t EmbeddingStore::degraded_searches() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return current_ == nullptr
+             ? 0
+             : current_->degraded_searches.load(std::memory_order_relaxed);
+}
+
+std::vector<ann::SearchResult> EmbeddingStore::View::Search(
     const std::vector<float>& query, int k, int exclude_id,
     bool* used_fallback) const {
   if (used_fallback != nullptr) *used_fallback = false;
-  if (flat_ == nullptr || count_ == 0) return {};  // Nothing stored yet.
+  if (snapshot_ == nullptr || snapshot_->count == 0) {
+    return {};  // Nothing stored yet.
+  }
 
   // Over-fetch by one so the self-hit can be dropped.
   std::vector<ann::SearchResult> hits;
-  bool degraded = !hnsw_ready_;
+  bool degraded = !snapshot_->hnsw_ready;
   if (!degraded) {
     if (util::Status fault = FAULT_POINT("ann.query"); !fault.ok()) {
       LOG(WARNING) << "ANN query failed, falling back to flat index: "
                    << fault.ToString();
       degraded = true;
     } else {
-      hits = hnsw_->Search(query, k + 1);
+      hits = snapshot_->hnsw->Search(query, k + 1);
       // A partially built graph can come back empty on a non-empty store.
       if (hits.empty()) degraded = true;
     }
   }
   if (degraded) {
-    hits = flat_->Search(query, k + 1);
-    degraded_searches_.fetch_add(1, std::memory_order_relaxed);
+    hits = snapshot_->flat->Search(query, k + 1);
+    snapshot_->degraded_searches.fetch_add(1, std::memory_order_relaxed);
     if (used_fallback != nullptr) *used_fallback = true;
   }
 
@@ -81,14 +107,15 @@ std::vector<ann::SearchResult> EmbeddingStore::Search(
   return out;
 }
 
-const std::vector<float>& EmbeddingStore::Embedding(int id) const {
+const std::vector<float>& EmbeddingStore::View::Embedding(int id) const {
   CHECK(Contains(id)) << "no embedding stored for id " << id;
-  return embeddings_[static_cast<size_t>(id)];
+  return snapshot_->embeddings[static_cast<size_t>(id)];
 }
 
-bool EmbeddingStore::Contains(int id) const {
-  return id >= 0 && static_cast<size_t>(id) < present_.size() &&
-         present_[static_cast<size_t>(id)];
+bool EmbeddingStore::View::Contains(int id) const {
+  return snapshot_ != nullptr && id >= 0 &&
+         static_cast<size_t>(id) < snapshot_->present.size() &&
+         snapshot_->present[static_cast<size_t>(id)];
 }
 
 }  // namespace explainti::core

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cstdint>
 #include <memory>
+#include <mutex>
 #include <vector>
 
 #include "ann/flat_index.h"
@@ -19,6 +20,14 @@ namespace explainti::core {
 /// steps") by re-encoding the training set and calling Rebuild(); ids are
 /// the caller's training-sample indices.
 ///
+/// Copy-on-write snapshots: Rebuild() constructs a complete, immutable
+/// Snapshot off to the side and publishes it atomically; readers pin one
+/// snapshot through a View and keep reading it even while the next
+/// rebuild runs and publishes. A forward pass that takes a View therefore
+/// sees ONE store generation end to end — concurrent rebuilds can never
+/// hand it a half-built index or evidence mixed across generations — and
+/// the old snapshot is freed when the last View drops.
+///
 /// Degradation ladder (mirroring how faiss-backed services degrade): the
 /// HNSW index is the fast tier; when its build was aborted (fault site
 /// "store.build"), a query fails (fault site "ann.query"), or a partially
@@ -29,48 +38,97 @@ namespace explainti::core {
 /// and Search() returns no hits.
 class EmbeddingStore {
  public:
+  /// One immutable published store generation. Built privately by
+  /// Rebuild(); reachable only through a View. `degraded_searches` is the
+  /// sole mutable field (telemetry, relaxed atomic).
+  struct Snapshot {
+    std::unique_ptr<ann::HnswIndex> hnsw;
+    std::unique_ptr<ann::FlatIndex> flat;
+    bool hnsw_ready = false;
+    int64_t count = 0;
+    uint64_t generation = 0;  ///< 1 for the first Rebuild, then +1 each.
+    std::vector<std::vector<float>> embeddings;  // Dense by id.
+    std::vector<bool> present;
+    mutable std::atomic<int64_t> degraded_searches{0};
+  };
+
+  /// A read handle pinning one snapshot. Cheap to copy (shared_ptr);
+  /// valid — and immutable — for its whole lifetime regardless of
+  /// concurrent Rebuild() calls. Take one View per forward pass.
+  class View {
+   public:
+    explicit View(std::shared_ptr<const Snapshot> snapshot)
+        : snapshot_(std::move(snapshot)) {}
+
+    /// Top-k most-similar stored samples, optionally excluding one id
+    /// (the query sample itself during training). Sets `*used_fallback`
+    /// (when non-null) to whether the flat tier answered instead of HNSW.
+    std::vector<ann::SearchResult> Search(const std::vector<float>& query,
+                                          int k, int exclude_id = -1,
+                                          bool* used_fallback = nullptr) const;
+
+    /// The stored embedding for `id`; the reference lives as long as this
+    /// View. Aborts when absent.
+    const std::vector<float>& Embedding(int id) const;
+
+    /// True when `id` has a stored embedding.
+    bool Contains(int id) const;
+
+    /// Stored embeddings (flat tier; independent of HNSW health).
+    int64_t size() const { return snapshot_ == nullptr ? 0 : snapshot_->count; }
+
+    /// False when the HNSW build was aborted and queries serve flat.
+    bool hnsw_ready() const {
+      return snapshot_ != nullptr && snapshot_->hnsw_ready;
+    }
+
+    /// Which Rebuild() produced this snapshot (0 = never rebuilt).
+    uint64_t generation() const {
+      return snapshot_ == nullptr ? 0 : snapshot_->generation;
+    }
+
+   private:
+    std::shared_ptr<const Snapshot> snapshot_;  // Null before any Rebuild.
+  };
+
   explicit EmbeddingStore(ann::HnswOptions hnsw_options = ann::HnswOptions());
 
-  /// Replaces the store contents. `embeddings[i]` is stored under
-  /// `ids[i]`; all vectors must share one dimensionality. The flat tier
-  /// always builds; an injected "store.build" fault aborts the HNSW build
-  /// mid-way and the store serves from the flat tier.
+  /// Replaces the store contents: builds a fresh snapshot aside and
+  /// publishes it atomically (readers holding Views keep their old
+  /// snapshot). `embeddings[i]` is stored under `ids[i]`; all vectors
+  /// must share one dimensionality. The flat tier always builds; an
+  /// injected "store.build" fault aborts the HNSW build mid-way and the
+  /// snapshot serves from the flat tier.
   void Rebuild(const std::vector<int>& ids,
                const std::vector<std::vector<float>>& embeddings);
 
-  /// Top-k most-similar stored samples, optionally excluding one id
-  /// (the query sample itself during training). Sets `*used_fallback`
-  /// (when non-null) to whether the flat tier answered instead of HNSW.
+  /// Pins the current snapshot. Thread-safe against concurrent Rebuild.
+  View view() const;
+
+  // Convenience pass-throughs operating on the instantaneous current
+  // snapshot. Multi-read consistency across a rebuild is NOT guaranteed
+  // here — readers that must see one generation take view() once instead.
   std::vector<ann::SearchResult> Search(const std::vector<float>& query,
                                         int k, int exclude_id = -1,
-                                        bool* used_fallback = nullptr) const;
-
-  /// The stored embedding for `id`. Aborts when absent.
+                                        bool* used_fallback = nullptr) const {
+    return view().Search(query, k, exclude_id, used_fallback);
+  }
+  bool Contains(int id) const { return view().Contains(id); }
+  int64_t size() const { return view().size(); }
+  bool hnsw_ready() const { return view().hnsw_ready(); }
+  /// The stored embedding for `id`. Aborts when absent. Single-threaded
+  /// callers only (training): the reference is into the current snapshot,
+  /// which a concurrent Rebuild may release.
   const std::vector<float>& Embedding(int id) const;
 
-  /// True when `id` has a stored embedding.
-  bool Contains(int id) const;
-
-  /// Number of stored embeddings (flat tier; independent of HNSW health).
-  int64_t size() const { return count_; }
-
-  /// False when the HNSW build was aborted and queries serve flat.
-  bool hnsw_ready() const { return hnsw_ready_; }
-
   /// Searches answered by the flat fallback since the last Rebuild.
-  int64_t degraded_searches() const {
-    return degraded_searches_.load(std::memory_order_relaxed);
-  }
+  int64_t degraded_searches() const;
 
  private:
   ann::HnswOptions hnsw_options_;
-  std::unique_ptr<ann::HnswIndex> hnsw_;
-  std::unique_ptr<ann::FlatIndex> flat_;
-  bool hnsw_ready_ = false;
-  int64_t count_ = 0;
-  mutable std::atomic<int64_t> degraded_searches_{0};
-  std::vector<std::vector<float>> embeddings_;  // Dense by id.
-  std::vector<bool> present_;
+  uint64_t next_generation_ = 1;  // Guarded by mu_ (Rebuild-side only).
+  mutable std::mutex mu_;  // Guards publication of current_.
+  std::shared_ptr<const Snapshot> current_;  // Null before first Rebuild.
 };
 
 }  // namespace explainti::core

@@ -190,7 +190,11 @@ ExplainTiModel::Forward ExplainTiModel::RunForward(TaskKind kind,
         sample_id < static_cast<int>(task.samples.size()));
   const TaskSample& sample = task.samples[static_cast<size_t>(sample_id)];
   const TaskHeads& heads = Heads(kind);
-  const EmbeddingStore& store = Store(kind);
+  // Pin ONE store generation for the whole forward pass: a concurrent
+  // RefreshStores/RebuildStore publishes a new snapshot without touching
+  // this view, so SE/GE evidence within one response is never mixed
+  // across store generations.
+  const EmbeddingStore::View store = Store(kind).view();
 
   Forward fwd;
   fwd.embeddings =

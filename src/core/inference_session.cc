@@ -3,6 +3,7 @@
 #include "nn/exec_context.h"
 #include "tensor/tensor_ops.h"
 #include "tensor/workspace.h"
+#include "util/fault_injection.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/thread_pool.h"
@@ -137,6 +138,25 @@ eval::F1Scores InferenceSession::Evaluate(TaskKind kind,
         }
       });
   return eval::ComputeF1(predictions, task.num_labels);
+}
+
+util::StatusOr<std::unique_ptr<ExplainTiModel>> LoadReplicaForSwap(
+    const ExplainTiConfig& config, const data::TableCorpus& corpus,
+    const std::string& weights_path) {
+  // Chaos site: models a checkpoint store outage mid-rollout — the
+  // replica never comes up, and the caller keeps the old generation.
+  if (util::Status fault = FAULT_POINT("swap.load_weights"); !fault.ok()) {
+    return fault;
+  }
+  auto replica = std::make_unique<ExplainTiModel>(config, corpus);
+  if (util::Status loaded = replica->LoadWeights(weights_path);
+      !loaded.ok()) {
+    return loaded;
+  }
+  // Warm the GE/SE stores so the first post-swap Explain is not a cold
+  // start (and so explanations are available at all).
+  replica->RefreshStores();
+  return replica;
 }
 
 }  // namespace explainti::core

@@ -1,6 +1,8 @@
 #ifndef EXPLAINTI_CORE_INFERENCE_SESSION_H_
 #define EXPLAINTI_CORE_INFERENCE_SESSION_H_
 
+#include <memory>
+#include <string>
 #include <vector>
 
 #include "core/config.h"
@@ -9,6 +11,7 @@
 #include "core/task_data.h"
 #include "data/corpus.h"
 #include "eval/f1_metrics.h"
+#include "util/status.h"
 
 namespace explainti::core {
 
@@ -87,6 +90,19 @@ class InferenceSession {
  private:
   const ExplainTiModel* model_;
 };
+
+/// Loads a complete serving replica for a model hot-swap: constructs a
+/// fresh ExplainTiModel, loads the checkpoint at `weights_path`, and
+/// warms its GE/SE embedding stores — entirely off to the side, touching
+/// no live state, so the currently-serving model keeps answering while
+/// the replica loads. On success the replica's session() is ready to hand
+/// to serve::InferenceServer::SwapSession; on any failure (unreadable or
+/// corrupt checkpoint, or the "swap.load_weights" chaos fault) the error
+/// Status is returned and there is nothing to roll back — the caller
+/// simply keeps the old generation.
+util::StatusOr<std::unique_ptr<ExplainTiModel>> LoadReplicaForSwap(
+    const ExplainTiConfig& config, const data::TableCorpus& corpus,
+    const std::string& weights_path);
 
 }  // namespace explainti::core
 

@@ -26,16 +26,38 @@ MicroBatcher::MicroBatcher(const BatcherOptions& options) : options_(options) {
   CHECK(options_.max_queue_wait_us >= 0) << "max_queue_wait_us must be >= 0";
 }
 
-util::Status MicroBatcher::Push(PendingRequest pending) {
+util::Status MicroBatcher::Push(PendingRequest pending,
+                                std::vector<PendingRequest>* preempted) {
   std::lock_guard<std::mutex> lock(mu_);
   if (shutdown_) {
     return util::Status::FailedPrecondition(
         "admission closed: server is shutting down");
   }
   if (static_cast<int64_t>(queue_.size()) >= options_.max_queue_depth) {
-    return util::Status::ResourceExhausted(
-        "admission queue full (max_queue_depth=" +
-        std::to_string(options_.max_queue_depth) + ")");
+    // Priority shedding: evict the youngest request of the lowest class
+    // strictly below the arrival's — background yields to batch, both
+    // yield to interactive; equal-class traffic is first-come-first-
+    // admitted, exactly the pre-tenancy behaviour.
+    size_t victim = queue_.size();
+    Priority victim_priority = pending.request.priority;
+    for (size_t i = 0; i < queue_.size(); ++i) {
+      const Priority p = queue_[i].request.priority;
+      if (p > victim_priority ||
+          (victim < queue_.size() && p == victim_priority)) {
+        // Strictly worse class than the best victim so far, or equally
+        // bad but younger (later in arrival order): prefer it.
+        victim = i;
+        victim_priority = p;
+      }
+    }
+    if (victim == queue_.size() || preempted == nullptr) {
+      return util::Status::ResourceExhausted(
+          "admission queue full (max_queue_depth=" +
+          std::to_string(options_.max_queue_depth) + ")");
+    }
+    preempted->push_back(std::move(queue_[victim]));
+    queue_.erase(queue_.begin() + static_cast<int64_t>(victim));
+    ++preemptions_;
   }
   pending.request.arrival_us = util::MonotonicNowUs();
   queue_.push_back(std::move(pending));
@@ -43,6 +65,18 @@ util::Status MicroBatcher::Push(PendingRequest pending) {
       std::max(high_water_, static_cast<int64_t>(queue_.size()));
   work_cv_.notify_one();
   return util::Status::OK();
+}
+
+size_t MicroBatcher::LeaderIndex() const {
+  size_t leader = 0;
+  for (size_t i = 1; i < queue_.size(); ++i) {
+    // Strictly better class wins; the queue is in arrival order, so the
+    // first request of the best class is also its oldest.
+    if (queue_[i].request.priority < queue_[leader].request.priority) {
+      leader = i;
+    }
+  }
+  return leader;
 }
 
 bool MicroBatcher::PopBatch(std::vector<PendingRequest>* batch,
@@ -72,10 +106,11 @@ bool MicroBatcher::PopBatch(std::vector<PendingRequest>* batch,
       continue;
     }
 
-    // 2. The oldest request leads; count how many queued requests could
-    // join its batch.
-    const ServeMethod leader_method = queue_.front().request.method;
-    const core::TaskKind leader_task = queue_.front().request.task;
+    // 2. The oldest request of the best queued priority class leads;
+    // count how many queued requests could join its batch.
+    const size_t leader = LeaderIndex();
+    const ServeMethod leader_method = queue_[leader].request.method;
+    const core::TaskKind leader_task = queue_[leader].request.task;
     int compatible = 0;
     for (const PendingRequest& p : queue_) {
       if (p.request.method == leader_method && p.request.task == leader_task) {
@@ -87,7 +122,7 @@ bool MicroBatcher::PopBatch(std::vector<PendingRequest>* batch,
     // enough, or we are draining. Otherwise sleep until the leader's
     // fill window (or the earliest queued deadline) and re-evaluate.
     const int64_t full_by =
-        queue_.front().request.arrival_us + options_.max_queue_wait_us;
+        queue_[leader].request.arrival_us + options_.max_queue_wait_us;
     const bool ready = shutdown_ ||
                        compatible >= options_.max_batch_size ||
                        now >= full_by;
@@ -150,6 +185,11 @@ int64_t MicroBatcher::size() const {
 int64_t MicroBatcher::high_water() const {
   std::lock_guard<std::mutex> lock(mu_);
   return high_water_;
+}
+
+int64_t MicroBatcher::preemptions() const {
+  std::lock_guard<std::mutex> lock(mu_);
+  return preemptions_;
 }
 
 }  // namespace explainti::serve

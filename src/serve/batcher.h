@@ -22,7 +22,8 @@ struct BatcherOptions {
   int64_t max_queue_wait_us = 2000;
   /// Bound on queued (admitted, not yet dispatched) requests. Push
   /// rejects with kResourceExhausted beyond this — the server sheds load
-  /// instead of buffering unboundedly.
+  /// instead of buffering unboundedly — unless a lower-priority victim
+  /// can be preempted (see Push).
   int max_queue_depth = 256;
 };
 
@@ -34,12 +35,22 @@ struct BatcherOptions {
 ///   1. Expired requests (monotonic deadline passed while queued) are
 ///      swept out on every pop and returned separately so the worker can
 ///      fail them with kDeadlineExceeded before they consume compute.
-///   2. The oldest queued request leads the batch; compatible requests
-///      anywhere in the queue join it, up to max_batch_size.
+///   2. The *leader* — the oldest queued request of the highest queued
+///      priority class — leads the batch; compatible requests anywhere in
+///      the queue join it in arrival order, up to max_batch_size. With a
+///      single priority class this is exactly oldest-request-leads.
 ///   3. A partial batch dispatches once the leader has waited
 ///      max_queue_wait_us (or immediately on shutdown); a full batch
 ///      dispatches at once. Incompatible requests keep their arrival
 ///      order for the next pop.
+///
+/// Overload discipline: at max_queue_depth, an arriving request preempts
+/// the *youngest queued request of the lowest priority class strictly
+/// below its own* (background before batch; interactive never preempted
+/// by batch traffic). The victim is handed back to the caller to fail
+/// with kResourceExhausted; when no strictly-lower-priority victim
+/// exists, the arriving request itself is rejected. Same-class traffic
+/// therefore keeps the seed first-come-first-admitted behaviour.
 ///
 /// Thread-safe: any number of producers (Push) and consumers (PopBatch).
 class MicroBatcher {
@@ -50,10 +61,16 @@ class MicroBatcher {
   MicroBatcher& operator=(const MicroBatcher&) = delete;
 
   /// Admits one request, stamping request.arrival_us. Fails with
-  /// kResourceExhausted when the queue is at max_queue_depth and with
-  /// kFailedPrecondition after Shutdown; in both cases the callback is
-  /// NOT invoked and ownership stays with the caller.
-  util::Status Push(PendingRequest pending);
+  /// kResourceExhausted when the queue is at max_queue_depth and no
+  /// lower-priority victim exists, and with kFailedPrecondition after
+  /// Shutdown; in both cases the callback is NOT invoked and ownership
+  /// stays with the caller. When the queue is full but holds work of a
+  /// strictly lower priority class, the youngest such request is moved
+  /// into `*preempted` (when non-null; with a null `preempted` the push
+  /// is rejected instead — no request is ever silently dropped) and the
+  /// new request is admitted; the caller owns failing the victim.
+  util::Status Push(PendingRequest pending,
+                    std::vector<PendingRequest>* preempted = nullptr);
 
   /// Blocks until work is available, then fills `batch` (one coalesced,
   /// compatible batch; possibly empty) and `expired` (requests whose
@@ -76,8 +93,14 @@ class MicroBatcher {
   int64_t size() const;
   /// Highest depth ever observed — proof the queue stays bounded.
   int64_t high_water() const;
+  /// Requests evicted by higher-priority arrivals since construction.
+  int64_t preemptions() const;
 
  private:
+  /// Index of the leader: oldest request of the best (numerically
+  /// lowest) priority class. Requires mu_ held and a non-empty queue.
+  size_t LeaderIndex() const;
+
   const BatcherOptions options_;
 
   mutable std::mutex mu_;
@@ -85,6 +108,7 @@ class MicroBatcher {
   std::deque<PendingRequest> queue_;
   bool shutdown_ = false;
   int64_t high_water_ = 0;
+  int64_t preemptions_ = 0;
 };
 
 }  // namespace explainti::serve

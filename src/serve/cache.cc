@@ -1,0 +1,96 @@
+#include "serve/cache.h"
+
+#include <algorithm>
+
+#include "util/fault_injection.h"
+#include "util/logging.h"
+
+namespace explainti::serve {
+
+ResponseCache::ResponseCache(const CacheOptions& options)
+    : capacity_(options.capacity),
+      num_shards_(std::max(1, options.num_shards)),
+      per_shard_capacity_(std::max<int64_t>(
+          1, options.capacity / std::max(1, options.num_shards))) {
+  CHECK(options.capacity >= 1) << "cache capacity must be >= 1";
+  shards_.reserve(static_cast<size_t>(num_shards_));
+  for (int i = 0; i < num_shards_; ++i) {
+    shards_.push_back(std::make_unique<Shard>());
+  }
+}
+
+ResponseCache::Shard& ResponseCache::ShardFor(const Key& key) {
+  return *shards_[static_cast<size_t>(KeyHash{}(key)) %
+                  static_cast<size_t>(num_shards_)];
+}
+
+bool ResponseCache::Lookup(const Key& key, ServeResponse* out) {
+  // A faulted cache must degrade to recomputation, never wrong data:
+  // report a miss and let the request take the normal batched path.
+  if (util::fault::ShouldInject("serve.cache.lookup",
+                               util::fault::FaultKind::kError)) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it == shard.index.end()) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
+  shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // Promote.
+  const Payload& payload = it->second->second;
+  out->labels = payload.labels;
+  out->probabilities = payload.probabilities;
+  out->explanation = payload.explanation;
+  out->model_generation = payload.model_generation;
+  out->cache_hit = true;
+  hits_.fetch_add(1, std::memory_order_relaxed);
+  return true;
+}
+
+void ResponseCache::Insert(const Key& key, const ServeResponse& response) {
+  CHECK(response.status.ok()) << "only OK responses are cacheable";
+  Payload payload;
+  payload.labels = response.labels;
+  payload.probabilities = response.probabilities;
+  payload.explanation = response.explanation;
+  payload.model_generation = response.model_generation;
+
+  Shard& shard = ShardFor(key);
+  std::lock_guard<std::mutex> lock(shard.mu);
+  auto it = shard.index.find(key);
+  if (it != shard.index.end()) {
+    // Same content hash → same payload; just refresh recency.
+    shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
+    it->second->second = std::move(payload);
+    return;
+  }
+  shard.lru.emplace_front(key, std::move(payload));
+  shard.index.emplace(key, shard.lru.begin());
+  if (static_cast<int64_t>(shard.lru.size()) > per_shard_capacity_) {
+    shard.index.erase(shard.lru.back().first);
+    shard.lru.pop_back();
+    evictions_.fetch_add(1, std::memory_order_relaxed);
+  }
+}
+
+void ResponseCache::Clear() {
+  for (std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    shard->lru.clear();
+    shard->index.clear();
+  }
+}
+
+int64_t ResponseCache::size() const {
+  int64_t total = 0;
+  for (const std::unique_ptr<Shard>& shard : shards_) {
+    std::lock_guard<std::mutex> lock(shard->mu);
+    total += static_cast<int64_t>(shard->lru.size());
+  }
+  return total;
+}
+
+}  // namespace explainti::serve

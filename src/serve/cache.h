@@ -1,0 +1,132 @@
+#ifndef EXPLAINTI_SERVE_CACHE_H_
+#define EXPLAINTI_SERVE_CACHE_H_
+
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "serve/request.h"
+
+namespace explainti::serve {
+
+/// Tuning knobs for the serving response cache. Disabled by default: the
+/// cache changes observable serving behaviour (hits bypass the queue and
+/// the completed/batch counters), so callers opt in explicitly.
+struct CacheOptions {
+  bool enabled = false;
+  /// Total cached entries across all shards; at capacity each shard
+  /// evicts its own least-recently-used entry.
+  int64_t capacity = 1024;
+  /// Independently locked shards. Lookups hash the key to one shard, so
+  /// concurrent workers on different keys rarely contend.
+  int num_shards = 8;
+};
+
+/// Bounded, lock-sharded LRU cache of fully-computed serve responses,
+/// keyed on (method, task, input-hash).
+///
+/// Keying on the *content hash* of the serialised input (util::HashInts
+/// over the sample's token ids + segments) rather than the sample id
+/// means repeated tables dedupe even when clients address them through
+/// different sample ids, and an id remapped to different content never
+/// serves stale data.
+///
+/// Values are the full response payloads — for kExplain the entire
+/// core::Explanation struct, including the ANN-degradation flag and note
+/// as computed at insert time — copied out bit-identically on every hit.
+/// Hits therefore reproduce exactly what the uncached call returned when
+/// the entry was inserted; the serving layer clears the cache on model
+/// hot-swap (see InferenceServer::SwapSession) so no entry outlives the
+/// generation that computed it.
+///
+/// Fault site "serve.cache.lookup": when armed, lookups report a miss —
+/// a broken cache degrades to recomputation, never to wrong data.
+class ResponseCache {
+ public:
+  /// One cache key. `method`/`task` are part of the key because the same
+  /// input produces different payloads per entry point.
+  struct Key {
+    ServeMethod method = ServeMethod::kPredict;
+    core::TaskKind task = core::TaskKind::kType;
+    uint64_t input_hash = 0;
+    bool operator==(const Key& other) const {
+      return method == other.method && task == other.task &&
+             input_hash == other.input_hash;
+    }
+  };
+
+  explicit ResponseCache(const CacheOptions& options);
+
+  ResponseCache(const ResponseCache&) = delete;
+  ResponseCache& operator=(const ResponseCache&) = delete;
+
+  /// On a hit, copies the cached payload (labels / probabilities /
+  /// explanation + model_generation) into `*out`, marks it cache_hit,
+  /// promotes the entry to most-recently-used, and returns true. On a
+  /// miss (or when the "serve.cache.lookup" fault fires) returns false
+  /// and leaves `*out` untouched.
+  bool Lookup(const Key& key, ServeResponse* out);
+
+  /// Inserts (or refreshes) the payload of `response` under `key`,
+  /// evicting the shard's LRU entry at capacity. Only OK responses are
+  /// cacheable; callers must not insert rejected/shed responses.
+  void Insert(const Key& key, const ServeResponse& response);
+
+  /// Drops every entry (model hot-swap invalidation). Hit/miss/eviction
+  /// counters survive — they describe the cache's lifetime, not one
+  /// generation's.
+  void Clear();
+
+  int64_t hits() const { return hits_.load(std::memory_order_relaxed); }
+  int64_t misses() const { return misses_.load(std::memory_order_relaxed); }
+  int64_t evictions() const {
+    return evictions_.load(std::memory_order_relaxed);
+  }
+  /// Current cached entries across all shards.
+  int64_t size() const;
+  int64_t capacity() const { return capacity_; }
+
+ private:
+  /// The cached payload: exactly the response fields a hit must
+  /// reproduce. Telemetry fields (queue_wait, batch_size) are not cached
+  /// — a hit reports its own (zero-queue) telemetry.
+  struct Payload {
+    std::vector<int> labels;
+    std::vector<float> probabilities;
+    core::Explanation explanation;
+    uint64_t model_generation = 0;
+  };
+  struct KeyHash {
+    size_t operator()(const Key& key) const {
+      // input_hash is already well-mixed (FNV-1a); fold in the enums.
+      return static_cast<size_t>(key.input_hash ^
+                                 (static_cast<uint64_t>(key.method) << 62) ^
+                                 (static_cast<uint64_t>(key.task) << 60));
+    }
+  };
+  struct Shard {
+    std::mutex mu;
+    /// Most-recently-used at the front.
+    std::list<std::pair<Key, Payload>> lru;
+    std::unordered_map<Key, std::list<std::pair<Key, Payload>>::iterator,
+                       KeyHash>
+        index;
+  };
+
+  Shard& ShardFor(const Key& key);
+
+  const int64_t capacity_;
+  const int num_shards_;
+  const int64_t per_shard_capacity_;
+  std::vector<std::unique_ptr<Shard>> shards_;
+  std::atomic<int64_t> hits_{0};
+  std::atomic<int64_t> misses_{0};
+  std::atomic<int64_t> evictions_{0};
+};
+
+}  // namespace explainti::serve
+
+#endif  // EXPLAINTI_SERVE_CACHE_H_

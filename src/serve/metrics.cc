@@ -64,8 +64,38 @@ std::vector<int64_t> Histogram::BucketCounts() const {
 double Histogram::Percentile(double q) const {
   const std::vector<int64_t> counts = BucketCounts();
   int64_t total = 0;
-  for (int64_t c : counts) total += c;
-  if (total == 0) return 0.0;
+  size_t populated = 0;
+  size_t last_populated = 0;
+  for (size_t i = 0; i < counts.size(); ++i) {
+    if (counts[i] > 0) {
+      ++populated;
+      last_populated = i;
+      total += counts[i];
+    }
+  }
+  if (total == 0) return 0.0;  // Empty histogram: no data, report 0.
+
+  // Bucket i spans (lo, hi]. The overflow bucket has no upper bound;
+  // saturate it at the last configured bound rather than extrapolating
+  // past the bucket array (an extrapolated "bound" reported latencies the
+  // histogram never promised to resolve).
+  auto bucket_lo = [&](size_t i) {
+    return i == 0 ? 0.0 : static_cast<double>(upper_bounds_[i - 1]);
+  };
+  auto bucket_hi = [&](size_t i) {
+    return i < upper_bounds_.size()
+               ? static_cast<double>(upper_bounds_[i])
+               : static_cast<double>(upper_bounds_.back());
+  };
+
+  // All mass in one bucket: the intra-bucket distribution is unknown, so
+  // interpolation would fabricate spread (p1 near the lower bound, p99
+  // near the upper, from identical samples). Report the bucket midpoint
+  // for every quantile instead.
+  if (populated == 1) {
+    return 0.5 * (bucket_lo(last_populated) + bucket_hi(last_populated));
+  }
+
   q = std::clamp(q, 0.0, 1.0);
   const double rank = q * static_cast<double>(total);
   int64_t seen = 0;
@@ -73,16 +103,10 @@ double Histogram::Percentile(double q) const {
     if (counts[i] == 0) continue;
     if (static_cast<double>(seen + counts[i]) >= rank) {
       // Linear interpolation inside the bucket [lo, hi].
-      const double lo =
-          i == 0 ? 0.0 : static_cast<double>(upper_bounds_[i - 1]);
-      const double hi = i < upper_bounds_.size()
-                            ? static_cast<double>(upper_bounds_[i])
-                            : lo * 2.0 + 1.0;  // Overflow bucket: best guess.
-      const double within =
-          counts[i] == 0
-              ? 0.0
-              : (rank - static_cast<double>(seen)) /
-                    static_cast<double>(counts[i]);
+      const double lo = bucket_lo(i);
+      const double hi = bucket_hi(i);
+      const double within = (rank - static_cast<double>(seen)) /
+                            static_cast<double>(counts[i]);
       return lo + (hi - lo) * std::clamp(within, 0.0, 1.0);
     }
     seen += counts[i];

@@ -50,7 +50,9 @@ class Histogram {
   int64_t Sum() const { return sum_.load(std::memory_order_relaxed); }
   double Mean() const;
   /// Estimated q-quantile (q in [0, 1]) from the bucket counts; 0 when
-  /// empty. A concurrent snapshot, not a linearizable one.
+  /// empty, the (single) populated bucket's midpoint when all mass landed
+  /// in one bucket, and bounded by the last configured bucket bound for
+  /// overflow samples. A concurrent snapshot, not a linearizable one.
   double Percentile(double q) const;
 
   const std::vector<int64_t>& upper_bounds() const { return upper_bounds_; }

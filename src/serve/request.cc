@@ -14,4 +14,16 @@ const char* ServeMethodName(ServeMethod method) {
   return "Unknown";
 }
 
+const char* PriorityName(Priority priority) {
+  switch (priority) {
+    case Priority::kInteractive:
+      return "interactive";
+    case Priority::kBatch:
+      return "batch";
+    case Priority::kBackground:
+      return "background";
+  }
+  return "unknown";
+}
+
 }  // namespace explainti::serve

@@ -25,6 +25,20 @@ enum class ServeMethod {
 /// Short human-readable name for `method` (e.g. "Predict").
 const char* ServeMethodName(ServeMethod method);
 
+/// Traffic class of a request. Lower numeric value = more important.
+/// Under overload the server sheds in reverse class order: a full
+/// admission queue preempts the youngest request of the *lowest* class
+/// strictly below the arriving one, and batch dispatch leads with the
+/// oldest request of the highest queued class.
+enum class Priority {
+  kInteractive = 0,  ///< User-facing; protected under overload.
+  kBatch = 1,        ///< Throughput-oriented; shed before interactive.
+  kBackground = 2,   ///< Best-effort backfill; shed first.
+};
+
+/// Short human-readable name for `priority` (e.g. "interactive").
+const char* PriorityName(Priority priority);
+
 /// One inference request as admitted by the InferenceServer.
 ///
 /// `deadline_us` is on the monotonic clock (util::MonotonicNowUs);
@@ -32,6 +46,15 @@ const char* ServeMethodName(ServeMethod method);
 /// while it is still queued is expired with kDeadlineExceeded before it
 /// consumes any compute. `arrival_us` is stamped by the admission queue;
 /// callers leave it zero.
+///
+/// `tenant_id` names the traffic owner for quota accounting and
+/// per-tenant metrics (serve::TenantRegistry); id 0 is the pre-registered
+/// unlimited default tenant, so single-tenant callers need not touch it.
+/// `priority` is the request's traffic class. When the server runs with a
+/// TenantRegistry, the tenant's registered class overrides this field at
+/// admission (priority is a server-side property of the tenant — a noisy
+/// neighbour cannot self-promote); without a registry the field is
+/// honoured as sent.
 struct ServeRequest {
   ServeMethod method = ServeMethod::kPredict;
   core::TaskKind task = core::TaskKind::kType;
@@ -41,6 +64,8 @@ struct ServeRequest {
   uint64_t trace_id = 0;
   int64_t deadline_us = util::kNoDeadline;  ///< Monotonic; kNoDeadline = none.
   int64_t arrival_us = 0;  ///< Stamped on admission (monotonic).
+  int tenant_id = 0;       ///< Quota/metrics owner; 0 = default tenant.
+  Priority priority = Priority::kInteractive;
 };
 
 /// The response envelope. Exactly one payload field is populated,
@@ -61,11 +86,19 @@ struct ServeResponse {
   int64_t queue_wait_us = 0;  ///< Admission to batch dispatch.
   int64_t total_us = 0;       ///< Admission to completion.
   int batch_size = 0;         ///< Size of the coalesced batch served with.
+  /// Served straight from the response cache (no queue, no compute;
+  /// batch_size is 0).
+  bool cache_hit = false;
+  /// Model generation that computed this response (1 = the session the
+  /// server started with; each successful hot-swap increments it). A
+  /// cache hit reports the generation that originally computed the entry.
+  uint64_t model_generation = 0;
 };
 
 /// Completion callback. Invoked exactly once per admitted request, from a
-/// worker thread (or from Shutdown for requests that could not be
-/// served). Must not block for long and must not re-enter the server.
+/// worker thread, from Submit itself (cache hits and preempted victims),
+/// or from Shutdown for requests that could not be served. Must not block
+/// for long and must not re-enter the server.
 using ServeCallback = std::function<void(ServeResponse&&)>;
 
 /// A queued request with its completion callback; the unit the admission
@@ -73,6 +106,9 @@ using ServeCallback = std::function<void(ServeResponse&&)>;
 struct PendingRequest {
   ServeRequest request;
   ServeCallback on_done;
+  /// Content hash of the sample's serialised input, stamped at admission
+  /// when the response cache is enabled (0 = not hashed / cache off).
+  uint64_t input_hash = 0;
 };
 
 /// Can `a` and `b` ride in the same coalesced batch?

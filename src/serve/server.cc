@@ -1,8 +1,11 @@
 #include "serve/server.h"
 
 #include <condition_variable>
+#include <string>
 #include <utility>
 
+#include "util/fault_injection.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/timer.h"
 
@@ -11,13 +14,18 @@ namespace explainti::serve {
 InferenceServer::InferenceServer(const core::InferenceSession& session,
                                  const ServerOptions& options,
                                  MetricsRegistry* metrics)
-    : session_(&session),
-      options_(options),
+    : options_(options),
       owned_metrics_(metrics == nullptr ? std::make_unique<MetricsRegistry>()
                                         : nullptr),
       metrics_(metrics == nullptr ? owned_metrics_.get() : metrics),
+      cache_(options.cache.enabled
+                 ? std::make_unique<ResponseCache>(options.cache)
+                 : nullptr),
       batcher_(options.batcher) {
   CHECK(options_.num_workers >= 0) << "num_workers must be >= 0";
+  current_ = std::make_shared<Generation>();
+  current_->session = &session;
+  current_->id = 1;
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -26,16 +34,56 @@ InferenceServer::InferenceServer(const core::InferenceSession& session,
 
 InferenceServer::~InferenceServer() { Shutdown(); }
 
+Counter* InferenceServer::TenantCounter(int tenant_id, const char* what) {
+  if (options_.tenants == nullptr) return nullptr;
+  return metrics_->GetCounter("serve.tenant." +
+                              options_.tenants->options(tenant_id).name + "." +
+                              what);
+}
+
 util::Status InferenceServer::Submit(ServeRequest request,
                                      ServeCallback on_done) {
   CHECK(on_done) << "Submit requires a completion callback";
+  // Chaos site: an armed "serve.admit" fault sheds the request at the
+  // front door with its injected (typed) status — modelling e.g. an
+  // auth/metadata dependency outage — before any queue slot is taken.
+  if (util::Status fault = FAULT_POINT("serve.admit"); !fault.ok()) {
+    metrics_->GetCounter("serve.rejected_admit_fault")->Increment();
+    return fault;
+  }
+
+  // Tenant admission: unknown tenants are invalid; the tenant's
+  // registered class overrides the request's self-declared priority
+  // (noisy neighbours cannot self-promote); over-quota tenants are shed
+  // here, before the request touches the queue or any compute.
+  if (options_.tenants != nullptr) {
+    if (!options_.tenants->Contains(request.tenant_id)) {
+      metrics_->GetCounter("serve.rejected_invalid")->Increment();
+      return util::Status::InvalidArgument(
+          "unknown tenant_id " + std::to_string(request.tenant_id));
+    }
+    request.priority = options_.tenants->options(request.tenant_id).priority;
+    util::Status quota = options_.tenants->Admit(request.tenant_id,
+                                                 util::MonotonicNowUs());
+    if (!quota.ok()) {
+      metrics_->GetCounter("serve.rejected_quota")->Increment();
+      TenantCounter(request.tenant_id, "rejected_quota")->Increment();
+      return quota;
+    }
+  }
+
   // Admission-time validation: malformed requests are rejected here so
   // they never occupy queue slots or reach a worker.
-  if (!session_->HasTask(request.task)) {
+  const core::InferenceSession* session;
+  {
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    session = current_->session;
+  }
+  if (!session->HasTask(request.task)) {
     metrics_->GetCounter("serve.rejected_invalid")->Increment();
     return util::Status::InvalidArgument("task not available on this model");
   }
-  const core::TaskData& task = session_->task_data(request.task);
+  const core::TaskData& task = session->task_data(request.task);
   if (request.sample_id < 0 ||
       request.sample_id >= static_cast<int>(task.samples.size())) {
     metrics_->GetCounter("serve.rejected_invalid")->Increment();
@@ -47,15 +95,62 @@ util::Status InferenceServer::Submit(ServeRequest request,
   PendingRequest pending;
   pending.request = request;
   pending.on_done = std::move(on_done);
-  util::Status admitted = batcher_.Push(std::move(pending));
+
+  // Response cache: key on the *content* of the serialised input (token
+  // ids + segments), so repeated tables short-circuit the queue entirely.
+  // A hit completes inline, bit-identical to the insert-time computation.
+  if (cache_ != nullptr) {
+    uint64_t hash = util::HashInts(task.samples[request.sample_id].seq.ids);
+    hash = util::HashInts(task.samples[request.sample_id].seq.segments, hash);
+    pending.input_hash = hash;
+    ServeResponse response;
+    if (cache_->Lookup({request.method, request.task, hash}, &response)) {
+      metrics_->GetCounter("serve.accepted")->Increment();
+      metrics_->GetCounter("serve.cache_hits")->Increment();
+      if (Counter* c = TenantCounter(request.tenant_id, "accepted")) {
+        c->Increment();
+      }
+      response.status = util::Status::OK();
+      response.trace_id = request.trace_id;
+      pending.on_done(std::move(response));
+      return util::Status::OK();
+    }
+  }
+
+  std::vector<PendingRequest> preempted;
+  util::Status admitted = batcher_.Push(std::move(pending), &preempted);
   if (admitted.ok()) {
     metrics_->GetCounter("serve.accepted")->Increment();
+    if (Counter* c = TenantCounter(request.tenant_id, "accepted")) {
+      c->Increment();
+    }
   } else if (admitted.code() == util::StatusCode::kResourceExhausted) {
     metrics_->GetCounter("serve.rejected_queue_full")->Increment();
+    if (Counter* c = TenantCounter(request.tenant_id, "rejected_queue_full")) {
+      c->Increment();
+    }
   } else {
     metrics_->GetCounter("serve.rejected_shutdown")->Increment();
   }
+  FailPreempted(preempted);
   return admitted;
+}
+
+void InferenceServer::FailPreempted(std::vector<PendingRequest>& victims) {
+  if (victims.empty()) return;
+  metrics_->GetCounter("serve.preempted")
+      ->Increment(static_cast<int64_t>(victims.size()));
+  for (PendingRequest& victim : victims) {
+    if (Counter* c = TenantCounter(victim.request.tenant_id, "preempted")) {
+      c->Increment();
+    }
+    ServeResponse response;
+    response.status = util::Status::ResourceExhausted(
+        "shed from a full queue by a higher-priority arrival");
+    response.trace_id = victim.request.trace_id;
+    victim.on_done(std::move(response));
+  }
+  victims.clear();
 }
 
 ServeResponse InferenceServer::ServeSync(ServeRequest request) {
@@ -84,7 +179,69 @@ ServeResponse InferenceServer::ServeSync(ServeRequest request) {
   return std::move(state.response);
 }
 
+uint64_t InferenceServer::current_generation() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return current_->id;
+}
+
+util::Status InferenceServer::SwapSession(const core::InferenceSession& next) {
+  // One rollout at a time; a swap racing Shutdown is refused rather than
+  // left waiting on workers that are exiting.
+  std::lock_guard<std::mutex> swap_lock(swap_mu_);
+  if (stopping_.load(std::memory_order_acquire)) {
+    return util::Status::FailedPrecondition(
+        "server is shutting down; hot-swap refused");
+  }
+  // Chaos site: an armed "serve.swap" fault aborts the rollout before any
+  // state changes — the old generation keeps serving untouched.
+  if (util::Status fault = FAULT_POINT("serve.swap"); !fault.ok()) {
+    metrics_->GetCounter("serve.swap_aborted")->Increment();
+    return fault;
+  }
+
+  std::shared_ptr<Generation> next_gen = std::make_shared<Generation>();
+  next_gen->session = &next;
+
+  std::unique_lock<std::mutex> lock(gen_mu_);
+  std::shared_ptr<Generation> old = current_;
+  next_gen->id = old->id + 1;
+  // The atomic redirect: every batch pinned after this line runs on the
+  // new generation. Batches already pinned keep their old pointer and
+  // finish there — no batch ever observes two sessions.
+  current_ = next_gen;
+  // Drain: the old model may only be freed once nothing executes on it.
+  gen_cv_.wait(lock, [&old] {
+    return old->in_flight.load(std::memory_order_acquire) == 0;
+  });
+  lock.unlock();
+
+  // Invalidate after the drain so a still-running old-generation batch
+  // cannot re-insert a stale entry behind the wipe. (New-generation
+  // entries inserted during the drain window are wiped too — a lost
+  // caching opportunity, never a correctness issue.)
+  if (cache_ != nullptr) cache_->Clear();
+  metrics_->GetCounter("serve.swaps")->Increment();
+  return util::Status::OK();
+}
+
+std::shared_ptr<InferenceServer::Generation> InferenceServer::PinGeneration() {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  current_->in_flight.fetch_add(1, std::memory_order_acq_rel);
+  return current_;
+}
+
+void InferenceServer::UnpinGeneration(
+    const std::shared_ptr<Generation>& generation) {
+  if (generation->in_flight.fetch_sub(1, std::memory_order_acq_rel) == 1) {
+    // Last batch off this generation: wake a swap waiting to drain it.
+    // Lock/unlock pairs the notify with the waiter's predicate check.
+    std::lock_guard<std::mutex> lock(gen_mu_);
+    gen_cv_.notify_all();
+  }
+}
+
 void InferenceServer::Shutdown() {
+  stopping_.store(true, std::memory_order_release);
   std::lock_guard<std::mutex> lock(shutdown_mu_);
   if (stopped_) return;
   stopped_ = true;
@@ -116,7 +273,13 @@ void InferenceServer::WorkerLoop() {
   std::vector<PendingRequest> expired;
   while (batcher_.PopBatch(&batch, &expired)) {
     FailExpired(expired, metrics_);
-    if (!batch.empty()) ExecuteBatch(*session_, batch, metrics_);
+    if (batch.empty()) continue;
+    // Pin one generation for the whole batch: the swap path redirects
+    // the pointer first and then waits for this pin to release.
+    std::shared_ptr<Generation> generation = PinGeneration();
+    ExecuteBatch(*generation->session, batch, metrics_, cache_.get(),
+                 generation->id);
+    UnpinGeneration(generation);
   }
 }
 
@@ -138,8 +301,25 @@ void InferenceServer::FailExpired(std::vector<PendingRequest>& expired,
 
 void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
                                    std::vector<PendingRequest>& batch,
-                                   MetricsRegistry* metrics) {
+                                   MetricsRegistry* metrics,
+                                   ResponseCache* cache, uint64_t generation) {
   if (batch.empty()) return;
+  // Chaos site: an armed "serve.dispatch" fault fails the whole batch
+  // with its injected status (modelling a backend executor crash) —
+  // every callback still fires exactly once, with a typed error.
+  if (util::Status fault = FAULT_POINT("serve.dispatch"); !fault.ok()) {
+    if (metrics != nullptr) {
+      metrics->GetCounter("serve.dispatch_failed")
+          ->Increment(static_cast<int64_t>(batch.size()));
+    }
+    for (PendingRequest& pending : batch) {
+      ServeResponse response;
+      response.status = fault;
+      response.trace_id = pending.request.trace_id;
+      pending.on_done(std::move(response));
+    }
+    return;
+  }
   const ServeMethod method = batch.front().request.method;
   const core::TaskKind task = batch.front().request.task;
   const int64_t dispatch_us = util::MonotonicNowUs();
@@ -205,8 +385,14 @@ void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
     response.queue_wait_us = dispatch_us - pending.request.arrival_us;
     response.total_us = done_us - pending.request.arrival_us;
     response.batch_size = static_cast<int>(batch.size());
+    response.model_generation = generation;
     if (queue_wait != nullptr) queue_wait->Record(response.queue_wait_us);
     if (e2e != nullptr) e2e->Record(response.total_us);
+    if (cache != nullptr && pending.input_hash != 0) {
+      cache->Insert(
+          {pending.request.method, pending.request.task, pending.input_hash},
+          response);
+    }
     pending.on_done(std::move(response));
   }
 }

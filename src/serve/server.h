@@ -1,6 +1,8 @@
 #ifndef EXPLAINTI_SERVE_SERVER_H_
 #define EXPLAINTI_SERVE_SERVER_H_
 
+#include <atomic>
+#include <condition_variable>
 #include <memory>
 #include <mutex>
 #include <thread>
@@ -8,53 +10,80 @@
 
 #include "core/inference_session.h"
 #include "serve/batcher.h"
+#include "serve/cache.h"
 #include "serve/metrics.h"
 #include "serve/request.h"
+#include "serve/tenant.h"
 #include "util/status.h"
 
 namespace explainti::serve {
 
-/// Server shape: worker count plus the admission/batching knobs.
+/// Server shape: worker count plus the admission/batching/caching knobs.
 struct ServerOptions {
   /// Worker threads executing coalesced batches. 0 is allowed (no
   /// execution happens; tests drive ExecuteBatch directly and Shutdown
   /// fails whatever is still queued).
   int num_workers = 2;
   BatcherOptions batcher;
+  /// Response cache; disabled by default (opt-in, see CacheOptions).
+  CacheOptions cache;
+  /// Tenant quota/priority table. Null (the default) serves everything
+  /// as one anonymous unlimited tenant — the pre-tenancy behaviour.
+  /// Borrowed; must outlive the server, with all tenants registered
+  /// before traffic starts.
+  TenantRegistry* tenants = nullptr;
 };
 
-/// Dynamic micro-batching inference server over a frozen
-/// core::InferenceSession.
+/// Dynamic micro-batching inference server over frozen
+/// core::InferenceSession generations.
 ///
-///   clients --Submit/ServeSync--> [bounded admission queue]
+///   clients --Submit/ServeSync--> [tenant quota] -> [response cache]
+///                                        | miss
+///                                        v
+///                                 [bounded admission queue]
 ///                                        | coalesce (method, task),
-///                                        | expire past-deadline
+///                                        | priority-lead, expire,
+///                                        | preempt low classes
 ///                                        v
 ///                                  MicroBatcher::PopBatch
 ///                                        |
 ///                  +---------------------+--------------------+
 ///                  v                     v                    v
 ///              worker 0              worker 1   ...       worker N-1
-///         (ExecuteBatch: batched InferenceSession entry points; each
-///          per-sample forward runs under its own InferenceModeGuard +
-///          per-thread Workspace arena)
+///         (pin current generation -> ExecuteBatch: batched
+///          InferenceSession entry points; each per-sample forward runs
+///          under its own InferenceModeGuard + per-thread Workspace)
 ///
 /// Admission control: Submit validates the request and rejects
-/// immediately — kInvalidArgument for unknown task/sample,
-/// kResourceExhausted when the bounded queue is full (load shedding, not
-/// buffering), kFailedPrecondition after Shutdown. Accepted requests are
-/// guaranteed exactly one completion callback: with a served (OK or
-/// kDeadlineExceeded) response from a worker, or — only when
-/// num_workers == 0 — a kFailedPrecondition response from Shutdown.
+/// immediately — kInvalidArgument for unknown task/sample/tenant,
+/// kResourceExhausted when the tenant is over quota or the bounded queue
+/// is full with no lower-priority victim (load shedding, not buffering),
+/// kFailedPrecondition after Shutdown. Accepted requests are guaranteed
+/// exactly one completion callback: a served (OK or kDeadlineExceeded)
+/// response from a worker, an OK cache-hit response inline from Submit,
+/// a kResourceExhausted response when preempted by a higher-priority
+/// arrival, or — only when num_workers == 0 — a kFailedPrecondition
+/// response from Shutdown.
+///
+/// Hot swap: SwapSession atomically redirects workers to a new frozen
+/// session via a generation pointer. Batches in flight finish on the
+/// generation they started with (a batch never observes two sessions —
+/// no torn reads), the swap blocks until the old generation has fully
+/// drained, and the response cache is invalidated before new-generation
+/// traffic can be served stale entries. No accepted request is dropped
+/// by a swap. Fault site "serve.swap" aborts the swap with the injected
+/// status; the old generation keeps serving.
 ///
 /// Results are bit-identical to calling the InferenceSession directly:
-/// batching changes scheduling, never numerics (golden-tested in
-/// tests/serve_test.cc).
+/// batching and caching change scheduling, never numerics (golden-tested
+/// in tests/serve_test.cc).
 class InferenceServer {
  public:
-  /// `session` must outlive the server. `metrics` may be null, in which
-  /// case the server owns a private registry; pass a shared registry to
-  /// aggregate several servers into one exporter.
+  /// `session` must outlive the server (or its replacement via
+  /// SwapSession — after a successful swap the old session may be
+  /// destroyed). `metrics` may be null, in which case the server owns a
+  /// private registry; pass a shared registry to aggregate several
+  /// servers into one exporter.
   explicit InferenceServer(const core::InferenceSession& session,
                            const ServerOptions& options = {},
                            MetricsRegistry* metrics = nullptr);
@@ -66,12 +95,29 @@ class InferenceServer {
   ~InferenceServer();
 
   /// Admits one request. On a non-OK return the callback will never be
-  /// invoked; on OK it is invoked exactly once, from a worker thread.
+  /// invoked; on OK it is invoked exactly once (from a worker thread, or
+  /// inline when the response cache answers).
   util::Status Submit(ServeRequest request, ServeCallback on_done);
 
   /// Blocking convenience: admits `request` and waits for its response.
   /// Rejections come back as a response with the rejecting status.
   ServeResponse ServeSync(ServeRequest request);
+
+  /// Zero-drop model hot-swap: redirects all future batches to `next`
+  /// and blocks until every batch in flight on the previous generation
+  /// has completed, so the caller may free the old model as soon as this
+  /// returns OK. The response cache (if any) is cleared on success.
+  /// Serving continues throughout — admissions are never paused, and no
+  /// accepted request is dropped or served from a torn state. Returns
+  /// the injected error without swapping when the "serve.swap" fault
+  /// fires (chaos: checkpoint-load failure mid-rollout), and
+  /// kFailedPrecondition after Shutdown.
+  util::Status SwapSession(const core::InferenceSession& next);
+
+  /// Generation currently serving (1 = the constructor session; each
+  /// successful SwapSession increments it). Responses echo the
+  /// generation that computed them in ServeResponse::model_generation.
+  uint64_t current_generation() const;
 
   /// Graceful drain: closes admissions, serves every already-accepted
   /// request, then joins the workers. Idempotent; also run by the
@@ -80,6 +126,8 @@ class InferenceServer {
 
   MetricsRegistry& metrics() { return *metrics_; }
   const MicroBatcher& batcher() const { return batcher_; }
+  /// Null when the cache is disabled.
+  const ResponseCache* cache() const { return cache_.get(); }
   const ServerOptions& options() const { return options_; }
 
   /// Executes one coalesced batch (all entries batch-compatible) against
@@ -88,7 +136,17 @@ class InferenceServer {
   /// steady-state zero-alloc assertion). `metrics` may be null.
   static void ExecuteBatch(const core::InferenceSession& session,
                            std::vector<PendingRequest>& batch,
-                           MetricsRegistry* metrics);
+                           MetricsRegistry* metrics) {
+    ExecuteBatch(session, batch, metrics, /*cache=*/nullptr,
+                 /*generation=*/0);
+  }
+
+  /// Full form: also stamps `generation` into each response and inserts
+  /// OK results into `cache` (both optional).
+  static void ExecuteBatch(const core::InferenceSession& session,
+                           std::vector<PendingRequest>& batch,
+                           MetricsRegistry* metrics, ResponseCache* cache,
+                           uint64_t generation);
 
   /// Completes `expired` requests with kDeadlineExceeded (no compute).
   /// `metrics` may be null.
@@ -96,14 +154,46 @@ class InferenceServer {
                           MetricsRegistry* metrics);
 
  private:
-  void WorkerLoop();
+  /// One serving generation: a frozen session plus the count of batches
+  /// currently executing against it. Workers pin the generation for the
+  /// duration of one batch; SwapSession waits for in_flight to reach
+  /// zero before declaring the old generation drained.
+  struct Generation {
+    const core::InferenceSession* session = nullptr;
+    uint64_t id = 0;
+    std::atomic<int64_t> in_flight{0};
+  };
 
-  const core::InferenceSession* session_;
+  void WorkerLoop();
+  /// Pins the current generation for one batch (increments in_flight).
+  std::shared_ptr<Generation> PinGeneration();
+  /// Releases a pinned generation and wakes any waiting swap.
+  void UnpinGeneration(const std::shared_ptr<Generation>& generation);
+  /// Fails `victims` (preempted by a higher-priority arrival) with
+  /// kResourceExhausted and records per-tenant shed counters.
+  void FailPreempted(std::vector<PendingRequest>& victims);
+  /// Per-tenant counter "serve.tenant.<name>.<what>"; null when the
+  /// server runs without a TenantRegistry.
+  Counter* TenantCounter(int tenant_id, const char* what);
+
   const ServerOptions options_;
   std::unique_ptr<MetricsRegistry> owned_metrics_;
   MetricsRegistry* metrics_;
+  std::unique_ptr<ResponseCache> cache_;  // Null when disabled.
   MicroBatcher batcher_;
   std::vector<std::thread> workers_;
+
+  // Generation pointer: guarded by gen_mu_; swapped by SwapSession,
+  // pinned per batch by workers. gen_cv_ signals in_flight drains.
+  mutable std::mutex gen_mu_;
+  std::condition_variable gen_cv_;
+  std::shared_ptr<Generation> current_;
+
+  // Serialises SwapSession callers: one rollout at a time.
+  std::mutex swap_mu_;
+  // Set at the start of Shutdown so SwapSession can refuse without
+  // contending on shutdown_mu_ (held across the worker join).
+  std::atomic<bool> stopping_{false};
 
   std::mutex shutdown_mu_;
   bool stopped_ = false;  // Guarded by shutdown_mu_.

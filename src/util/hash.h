@@ -1,0 +1,45 @@
+#ifndef EXPLAINTI_UTIL_HASH_H_
+#define EXPLAINTI_UTIL_HASH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace explainti::util {
+
+/// 64-bit FNV-1a offset basis / prime. FNV-1a is the content-hash used
+/// for serving-cache keys: stable across runs and platforms (unlike
+/// std::hash), cheap enough to run per request, and good enough mixing
+/// for bucketing — it is NOT a cryptographic hash.
+inline constexpr uint64_t kFnv64OffsetBasis = 0xcbf29ce484222325ULL;
+inline constexpr uint64_t kFnv64Prime = 0x100000001b3ULL;
+
+/// FNV-1a over `data[0..n)`, continuing from `seed` (pass the previous
+/// return value to extend a running hash; start from kFnv64OffsetBasis).
+inline uint64_t HashBytes(const void* data, size_t n,
+                          uint64_t seed = kFnv64OffsetBasis) {
+  const unsigned char* bytes = static_cast<const unsigned char*>(data);
+  uint64_t h = seed;
+  for (size_t i = 0; i < n; ++i) {
+    h ^= static_cast<uint64_t>(bytes[i]);
+    h *= kFnv64Prime;
+  }
+  return h;
+}
+
+/// Hashes a vector of ints (e.g. a serialised token-id sequence),
+/// length-prefixed so that ({1}, {2}) and ({1, 2}, {}) hash differently
+/// when chained.
+inline uint64_t HashInts(const std::vector<int>& values,
+                         uint64_t seed = kFnv64OffsetBasis) {
+  const uint64_t n = static_cast<uint64_t>(values.size());
+  uint64_t h = HashBytes(&n, sizeof(n), seed);
+  if (!values.empty()) {
+    h = HashBytes(values.data(), values.size() * sizeof(int), h);
+  }
+  return h;
+}
+
+}  // namespace explainti::util
+
+#endif  // EXPLAINTI_UTIL_HASH_H_

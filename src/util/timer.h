@@ -21,10 +21,15 @@ inline int64_t MonotonicNowUs() {
 }
 
 /// Monotonic deadline `timeout_us` from now. Non-positive timeouts yield
-/// kNoDeadline (no limit).
+/// kNoDeadline (no limit). Timeouts large enough that `now + timeout`
+/// would overflow int64 saturate to kNoDeadline instead of wrapping
+/// negative (a wrapped deadline would read as "expired in the distant
+/// past" and shed every request carrying it).
 inline int64_t DeadlineAfterUs(int64_t timeout_us) {
   if (timeout_us <= 0) return kNoDeadline;
-  return MonotonicNowUs() + timeout_us;
+  const int64_t now = MonotonicNowUs();
+  if (timeout_us >= kNoDeadline - now) return kNoDeadline;
+  return now + timeout_us;
 }
 
 /// Has `deadline_us` passed at `now_us` (default: now)? kNoDeadline never

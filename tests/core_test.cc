@@ -77,6 +77,40 @@ TEST(EmbeddingStoreTest, RebuildReplacesContents) {
   EXPECT_TRUE(store.Contains(1));
 }
 
+TEST(EmbeddingStoreTest, ViewPinsOneGenerationAcrossRebuilds) {
+  EmbeddingStore store;
+  store.Rebuild({0}, {{1.0f, 0.0f}});
+  const EmbeddingStore::View old_view = store.view();
+  EXPECT_EQ(old_view.generation(), 1u);
+
+  store.Rebuild({1}, {{0.0f, 1.0f}});
+  // The pinned view still serves its whole generation — lookups, search,
+  // and membership all answer from the snapshot taken, never a mix.
+  EXPECT_EQ(old_view.size(), 1);
+  EXPECT_TRUE(old_view.Contains(0));
+  EXPECT_FALSE(old_view.Contains(1));
+  EXPECT_EQ(old_view.Embedding(0), (std::vector<float>{1.0f, 0.0f}));
+  const auto old_hits = old_view.Search({1.0f, 0.0f}, 1);
+  ASSERT_EQ(old_hits.size(), 1u);
+  EXPECT_EQ(old_hits[0].id, 0);
+
+  // A view taken after the rebuild sees only the new generation.
+  const EmbeddingStore::View new_view = store.view();
+  EXPECT_EQ(new_view.generation(), 2u);
+  EXPECT_FALSE(new_view.Contains(0));
+  EXPECT_TRUE(new_view.Contains(1));
+}
+
+TEST(EmbeddingStoreTest, ViewBeforeFirstRebuildIsEmpty) {
+  EmbeddingStore store;
+  const EmbeddingStore::View view = store.view();
+  EXPECT_EQ(view.generation(), 0u);
+  EXPECT_EQ(view.size(), 0);
+  EXPECT_FALSE(view.Contains(0));
+  EXPECT_FALSE(view.hnsw_ready());
+  EXPECT_TRUE(view.Search({1.0f, 0.0f}, 3).empty());
+}
+
 TEST(TaskDataTest, TypeTaskConstruction) {
   const data::TableCorpus corpus = TinyCorpus();
   auto vocab = CorpusVocab(corpus);

@@ -1,5 +1,6 @@
 #include "core/inference_session.h"
 
+#include <atomic>
 #include <cstring>
 #include <string>
 #include <thread>
@@ -284,6 +285,47 @@ TEST(InferenceSessionTsanTest, ConcurrentPredictExplainOnSharedWeights) {
   for (int t = 0; t < kThreads; ++t) {
     EXPECT_EQ(failures[static_cast<size_t>(t)], "") << "thread " << t;
   }
+}
+
+// GE/SE store rebuilds publish copy-on-write snapshots, so a rebuild may
+// run *while* explanations are being served: each forward pass pins one
+// snapshot and never observes a half-built index or evidence mixed
+// across store generations.
+TEST(InferenceSessionTsanTest, ExplainBatchConsistentDuringStoreRebuilds) {
+  GlobalPoolGuard guard;
+  util::SetGlobalThreadCount(2);
+  const data::TableCorpus corpus = TinyCorpus();
+  ExplainTiModel model(TinyConfig("bert"), corpus);
+  model.RefreshStores();
+  const InferenceSession& session = model.session();
+  const std::vector<int> ids = SampleIds(model.task_data(TaskKind::kType));
+
+  // Quiescent reference. The weights never change here, so every rebuild
+  // republishes identical store content — any deviation below means a
+  // forward pass read a torn snapshot (old code raced the in-place
+  // rebuild exactly this way).
+  const std::vector<Explanation> want =
+      session.ExplainBatch(TaskKind::kType, ids);
+
+  std::atomic<bool> stop{false};
+  std::atomic<int> rebuilds{0};
+  std::thread rebuilder([&] {
+    while (!stop.load(std::memory_order_relaxed)) {
+      model.RefreshStores();
+      rebuilds.fetch_add(1, std::memory_order_relaxed);
+    }
+  });
+  for (int round = 0; round < 6; ++round) {
+    const std::vector<Explanation> got =
+        session.ExplainBatch(TaskKind::kType, ids);
+    ASSERT_EQ(got.size(), want.size());
+    for (size_t i = 0; i < got.size(); ++i) {
+      ExpectExplanationsBitEqual(want[i], got[i]);
+    }
+  }
+  stop.store(true, std::memory_order_relaxed);
+  rebuilder.join();
+  EXPECT_GE(rebuilds.load(), 1);
 }
 
 }  // namespace

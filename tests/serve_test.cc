@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <atomic>
+#include <chrono>
 #include <condition_variable>
 #include <cstring>
 #include <mutex>
@@ -455,6 +456,450 @@ TEST(MetricsTest, HistogramPercentileBracketsRecordedValues) {
   EXPECT_GE(p99, 90.0);
   EXPECT_LE(p99, 110.0);
   EXPECT_EQ(histogram.Sum(), 5050);
+}
+
+TEST(MetricsTest, PercentileOfEmptyHistogramIsZero) {
+  Histogram histogram(Histogram::LatencyBucketsUs());
+  EXPECT_EQ(histogram.Percentile(0.50), 0.0);
+  EXPECT_EQ(histogram.Percentile(0.99), 0.0);
+  EXPECT_EQ(histogram.Count(), 0);
+}
+
+TEST(MetricsTest, SingleBucketPercentileIsBucketMidpoint) {
+  // Every recording lands in the (20, 30] bucket: interpolating across
+  // one bucket's mass must report its midpoint, not its lower edge, and
+  // p50 must equal p99 (there is only one place the mass can be).
+  Histogram histogram(Histogram::LinearBuckets(10, 10, 20));  // 10..200.
+  for (int i = 0; i < 5; ++i) histogram.Record(25);
+  EXPECT_EQ(histogram.Percentile(0.50), 25.0);
+  EXPECT_EQ(histogram.Percentile(0.99), 25.0);
+}
+
+TEST(MetricsTest, OverflowOnlyPercentileSaturatesAtLastBound) {
+  // Mass solely in the open-ended overflow bucket: the percentile
+  // reports the last finite bound instead of inventing a larger value.
+  Histogram histogram(Histogram::LinearBuckets(10, 10, 20));  // 10..200.
+  histogram.Record(100'000);
+  EXPECT_EQ(histogram.Percentile(0.50), 200.0);
+  EXPECT_EQ(histogram.Percentile(0.99), 200.0);
+}
+
+// ---------------------------------------------------------------------------
+// Tenant quotas: token buckets shed over-quota traffic at admission.
+// ---------------------------------------------------------------------------
+
+TEST(TenantRegistryTest, TokenBucketSpendsBurstThenRefillsAtQuotaRate) {
+  TenantRegistry tenants;
+  TenantOptions limited;
+  limited.name = "metered";
+  limited.priority = Priority::kBatch;
+  limited.quota_rps = 2.0;
+  limited.burst = 2.0;
+  const int id = tenants.Register(limited);
+  ASSERT_EQ(id, 1);  // 0 is the pre-registered default tenant.
+
+  const int64_t t0 = 1'000'000;  // Explicit clock: no sleeping.
+  EXPECT_TRUE(tenants.Admit(id, t0).ok());   // Burst token 1.
+  EXPECT_TRUE(tenants.Admit(id, t0).ok());   // Burst token 2.
+  const util::Status over = tenants.Admit(id, t0);
+  EXPECT_EQ(over.code(), util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(tenants.quota_rejections(id), 1);
+
+  // 500ms at 2 rps refills exactly one token; the next request in the
+  // same instant is over quota again.
+  EXPECT_TRUE(tenants.Admit(id, t0 + 500'000).ok());
+  EXPECT_EQ(tenants.Admit(id, t0 + 500'000).code(),
+            util::StatusCode::kResourceExhausted);
+  EXPECT_EQ(tenants.quota_rejections(id), 2);
+}
+
+TEST(TenantRegistryTest, DefaultTenantIsUnlimitedAndUnknownIdsRejected) {
+  TenantRegistry tenants;
+  ASSERT_TRUE(tenants.Contains(0));
+  EXPECT_EQ(tenants.options(0).priority, Priority::kInteractive);
+  for (int i = 0; i < 1000; ++i) {
+    ASSERT_TRUE(tenants.Admit(0, 42).ok()) << i;  // Clock never advances.
+  }
+  EXPECT_EQ(tenants.quota_rejections(0), 0);
+  EXPECT_FALSE(tenants.Contains(7));
+  EXPECT_EQ(tenants.Admit(7, 42).code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(ServeTenantTest, OverQuotaTenantShedBeforeQueueWithPerTenantCounters) {
+  const InferenceSession& session = Shared().model.session();
+  TenantRegistry tenants;
+  TenantOptions metered;
+  metered.name = "metered";
+  metered.priority = Priority::kBatch;
+  metered.quota_rps = 0.001;  // Effectively no refill within the test.
+  metered.burst = 2.0;
+  const int metered_id = tenants.Register(metered);
+
+  ServerOptions options;
+  options.tenants = &tenants;
+  InferenceServer server(session, options);
+  int ok = 0, shed = 0;
+  for (int i = 0; i < 6; ++i) {
+    ServeRequest request = MakeRequest(ServeMethod::kPredict, 0);
+    request.tenant_id = metered_id;
+    const ServeResponse response = server.ServeSync(request);
+    if (response.status.ok()) {
+      ++ok;
+    } else {
+      EXPECT_EQ(response.status.code(), util::StatusCode::kResourceExhausted);
+      ++shed;
+    }
+  }
+  EXPECT_EQ(ok, 2);    // The burst.
+  EXPECT_EQ(shed, 4);  // Everything past it, rejected at admission.
+  EXPECT_EQ(tenants.quota_rejections(metered_id), 4);
+  EXPECT_EQ(
+      server.metrics().GetCounter("serve.tenant.metered.rejected_quota")
+          ->Value(),
+      4);
+  EXPECT_EQ(server.metrics().GetCounter("serve.tenant.metered.accepted")
+                ->Value(),
+            2);
+  // The default tenant is untouched by the noisy neighbour.
+  const ServeResponse response =
+      server.ServeSync(MakeRequest(ServeMethod::kPredict, 0));
+  EXPECT_TRUE(response.status.ok());
+  EXPECT_EQ(server.metrics().GetCounter("serve.tenant.default.accepted")
+                ->Value(),
+            1);
+  // Unknown tenants are invalid, not over-quota.
+  ServeRequest unknown = MakeRequest(ServeMethod::kPredict, 0);
+  unknown.tenant_id = 99;
+  EXPECT_EQ(server.ServeSync(unknown).status.code(),
+            util::StatusCode::kInvalidArgument);
+}
+
+// ---------------------------------------------------------------------------
+// Priority shedding: a full queue preempts the youngest request of the
+// lowest class strictly below the arrival; equal classes keep the seed
+// first-come-first-admitted behaviour.
+// ---------------------------------------------------------------------------
+
+TEST(MicroBatcherTest, FullQueuePreemptsYoungestOfLowestClass) {
+  BatcherOptions options;
+  options.max_queue_depth = 3;
+  MicroBatcher batcher(options);
+
+  auto push = [&batcher](Priority priority, uint64_t trace_id,
+                         std::vector<PendingRequest>* preempted) {
+    PendingRequest pending;
+    pending.request.method = ServeMethod::kPredict;
+    pending.request.sample_id = 0;
+    pending.request.priority = priority;
+    pending.request.trace_id = trace_id;
+    pending.on_done = [](ServeResponse&&) {};
+    return batcher.Push(std::move(pending), preempted);
+  };
+
+  std::vector<PendingRequest> preempted;
+  ASSERT_TRUE(push(Priority::kBackground, 1, &preempted).ok());
+  ASSERT_TRUE(push(Priority::kBackground, 2, &preempted).ok());
+  ASSERT_TRUE(push(Priority::kBatch, 3, &preempted).ok());
+  ASSERT_TRUE(preempted.empty());
+
+  // Full queue + interactive arrival: the *youngest background* request
+  // (trace 2) is shed — not the older background 1, not the batch 3.
+  ASSERT_TRUE(push(Priority::kInteractive, 4, &preempted).ok());
+  ASSERT_EQ(preempted.size(), 1u);
+  EXPECT_EQ(preempted[0].request.trace_id, 2u);
+  preempted.clear();
+
+  // Batch arrival: background 1 is the only strictly-lower victim left.
+  ASSERT_TRUE(push(Priority::kBatch, 5, &preempted).ok());
+  ASSERT_EQ(preempted.size(), 1u);
+  EXPECT_EQ(preempted[0].request.trace_id, 1u);
+  preempted.clear();
+
+  // Queue now holds {batch 3, interactive 4, batch 5}: a batch arrival
+  // has no strictly-lower victim and is itself rejected (equal classes
+  // never preempt each other).
+  EXPECT_EQ(push(Priority::kBatch, 6, &preempted).code(),
+            util::StatusCode::kResourceExhausted);
+  EXPECT_TRUE(preempted.empty());
+  // Interactive still preempts batch.
+  ASSERT_TRUE(push(Priority::kInteractive, 7, &preempted).ok());
+  ASSERT_EQ(preempted.size(), 1u);
+  EXPECT_EQ(preempted[0].request.trace_id, 5u);  // Youngest batch.
+  EXPECT_EQ(batcher.preemptions(), 3);
+}
+
+TEST(MicroBatcherTest, HighestQueuedClassLeadsDispatch) {
+  BatcherOptions options;
+  options.max_batch_size = 8;
+  options.max_queue_wait_us = 0;  // Dispatch immediately.
+  MicroBatcher batcher(options);
+
+  auto push = [&batcher](ServeMethod method, Priority priority,
+                         uint64_t trace_id) {
+    PendingRequest pending;
+    pending.request.method = method;
+    pending.request.sample_id = 0;
+    pending.request.priority = priority;
+    pending.request.trace_id = trace_id;
+    pending.on_done = [](ServeResponse&&) {};
+    ASSERT_TRUE(batcher.Push(std::move(pending)).ok());
+  };
+  // Two background Predicts queued first, then an interactive Explain:
+  // the Explain leads the first batch even though it arrived last.
+  push(ServeMethod::kPredict, Priority::kBackground, 1);
+  push(ServeMethod::kPredict, Priority::kBackground, 2);
+  push(ServeMethod::kExplain, Priority::kInteractive, 3);
+
+  std::vector<PendingRequest> batch, expired;
+  ASSERT_TRUE(batcher.PopBatch(&batch, &expired));
+  ASSERT_EQ(batch.size(), 1u);
+  EXPECT_EQ(batch[0].request.trace_id, 3u);
+  ASSERT_TRUE(batcher.PopBatch(&batch, &expired));
+  ASSERT_EQ(batch.size(), 2u);
+  EXPECT_EQ(batch[0].request.trace_id, 1u);
+  EXPECT_EQ(batch[1].request.trace_id, 2u);
+}
+
+// ---------------------------------------------------------------------------
+// Response cache: repeated tables short-circuit the queue with
+// bit-identical payloads; capacity is enforced shard-locally.
+// ---------------------------------------------------------------------------
+
+TEST(ResponseCacheTest, LruEvictsWithinShardAndCountsEverything) {
+  CacheOptions options;
+  options.enabled = true;
+  options.capacity = 2;
+  options.num_shards = 1;  // Deterministic LRU order for the test.
+  ResponseCache cache(options);
+
+  ServeResponse response;
+  response.status = util::Status::OK();
+  response.labels = {7};
+  const auto key = [](uint64_t hash) {
+    return ResponseCache::Key{ServeMethod::kPredict, TaskKind::kType, hash};
+  };
+  cache.Insert(key(1), response);
+  cache.Insert(key(2), response);
+  ServeResponse out;
+  EXPECT_TRUE(cache.Lookup(key(1), &out));  // Promotes 1 over 2.
+  EXPECT_TRUE(out.cache_hit);
+  EXPECT_EQ(out.labels, response.labels);
+  cache.Insert(key(3), response);  // Evicts 2, the LRU entry.
+  EXPECT_FALSE(cache.Lookup(key(2), &out));
+  EXPECT_TRUE(cache.Lookup(key(1), &out));
+  EXPECT_TRUE(cache.Lookup(key(3), &out));
+  EXPECT_EQ(cache.evictions(), 1);
+  EXPECT_EQ(cache.hits(), 3);
+  EXPECT_EQ(cache.misses(), 1);
+  EXPECT_EQ(cache.size(), 2);
+  cache.Clear();
+  EXPECT_EQ(cache.size(), 0);
+  EXPECT_FALSE(cache.Lookup(key(1), &out));
+  EXPECT_EQ(cache.hits(), 3);  // Counters survive Clear().
+}
+
+TEST(ServeCacheTest, RepeatedExplainHitsInlineAndBitIdentical) {
+  const InferenceSession& session = Shared().model.session();
+  const Explanation want = session.Explain(TaskKind::kType, 1);
+
+  ServerOptions options;
+  options.cache.enabled = true;
+  InferenceServer server(session, options);
+
+  const ServeResponse cold =
+      server.ServeSync(MakeRequest(ServeMethod::kExplain, 1));
+  ASSERT_TRUE(cold.status.ok());
+  EXPECT_FALSE(cold.cache_hit);
+  EXPECT_EQ(cold.model_generation, 1u);
+
+  const ServeResponse hot =
+      server.ServeSync(MakeRequest(ServeMethod::kExplain, 1));
+  ASSERT_TRUE(hot.status.ok());
+  EXPECT_TRUE(hot.cache_hit);
+  EXPECT_EQ(hot.batch_size, 0);  // Never queued, never batched.
+  EXPECT_EQ(hot.model_generation, 1u);
+
+  // The hit reproduces the direct (uncached, unbatched) call bit for bit
+  // — prediction, probabilities, all three explanation views, and the
+  // ANN-degradation annotation.
+  for (const ServeResponse* got : {&cold, &hot}) {
+    EXPECT_EQ(got->explanation.predicted_labels, want.predicted_labels);
+    ExpectBitEqual(got->explanation.probabilities, want.probabilities,
+                   "cached probabilities");
+    EXPECT_EQ(got->explanation.local.size(), want.local.size());
+    EXPECT_EQ(got->explanation.global.size(), want.global.size());
+    EXPECT_EQ(got->explanation.structural.size(), want.structural.size());
+    EXPECT_EQ(got->explanation.ann_degraded, want.ann_degraded);
+    EXPECT_EQ(got->explanation.degradation_note, want.degradation_note);
+  }
+  EXPECT_EQ(server.cache()->hits(), 1);
+  EXPECT_EQ(server.cache()->misses(), 1);
+  EXPECT_EQ(server.metrics().GetCounter("serve.cache_hits")->Value(), 1);
+  // Different method on the same input is a different key, not a hit.
+  const ServeResponse other =
+      server.ServeSync(MakeRequest(ServeMethod::kPredict, 1));
+  ASSERT_TRUE(other.status.ok());
+  EXPECT_FALSE(other.cache_hit);
+}
+
+// ---------------------------------------------------------------------------
+// Zero-drop hot swap: generations redirect atomically under concurrent
+// load; every response is bit-exact for the generation that served it.
+// ---------------------------------------------------------------------------
+
+TEST(ServeHotSwapTest, ZeroDropBitExactAcrossThreeSwapsWithOneAborted) {
+  util::fault::FaultRegistry::Instance().DisarmAll();
+  const SharedModel& shared = Shared();
+  const InferenceSession& session_a = shared.model.session();
+
+  // Generation B: same corpus, different init seed — distinguishable
+  // outputs, so a torn or misrouted response cannot go unnoticed.
+  core::ExplainTiConfig config_b = SharedModel::MakeConfig();
+  config_b.seed = 777;
+  ExplainTiModel model_b(config_b, shared.corpus);
+  model_b.RefreshStores();
+  const std::string checkpoint_b = "/tmp/explainti_swap_gen_b.bin";
+  ASSERT_TRUE(model_b.SaveWeights(checkpoint_b).ok());
+
+  const std::vector<int> ids = SampleIds(6);
+  std::vector<std::vector<float>> ref_a, ref_b;
+  for (int id : ids) {
+    ref_a.push_back(
+        session_a.PredictProbabilities(TaskKind::kType, id));
+    ref_b.push_back(
+        model_b.session().PredictProbabilities(TaskKind::kType, id));
+  }
+  bool distinguishable = false;
+  for (size_t i = 0; i < ids.size(); ++i) {
+    if (ref_a[i] != ref_b[i]) distinguishable = true;
+  }
+  ASSERT_TRUE(distinguishable);
+
+  ServerOptions options;
+  options.num_workers = 3;
+  options.batcher.max_queue_depth = 4096;
+  InferenceServer server(session_a, options);
+  ASSERT_EQ(server.current_generation(), 1u);
+
+  // Concurrent closed-loop clients: every response must be OK and
+  // bit-exact for whichever generation computed it (odd = A, even = B).
+  constexpr int kClients = 3;
+  std::atomic<bool> stop{false};
+  std::atomic<int64_t> submitted{0};
+  std::atomic<int64_t> served{0};
+  std::vector<std::string> failures(kClients);
+  std::vector<std::thread> clients;
+  for (int c = 0; c < kClients; ++c) {
+    clients.emplace_back([&, c] {
+      int i = 0;
+      while (!stop.load(std::memory_order_relaxed)) {
+        const size_t slot = static_cast<size_t>((c + i++) % ids.size());
+        submitted.fetch_add(1, std::memory_order_relaxed);
+        const ServeResponse response = server.ServeSync(
+            MakeRequest(ServeMethod::kPredictProbabilities, ids[slot]));
+        if (!response.status.ok()) {
+          failures[static_cast<size_t>(c)] =
+              "dropped: " + response.status.ToString();
+          return;
+        }
+        served.fetch_add(1, std::memory_order_relaxed);
+        if (response.model_generation == 0) {
+          failures[static_cast<size_t>(c)] = "missing generation stamp";
+          return;
+        }
+        const std::vector<std::vector<float>>& want =
+            (response.model_generation % 2 == 1) ? ref_a : ref_b;
+        if (response.probabilities != want[slot]) {
+          failures[static_cast<size_t>(c)] =
+              "torn response on generation " +
+              std::to_string(response.model_generation);
+          return;
+        }
+      }
+    });
+  }
+
+  const auto let_traffic_flow = [] {
+    std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  };
+  let_traffic_flow();
+
+  // Swap 1 (gen 2): a replica loaded fresh from B's checkpoint.
+  util::StatusOr<std::unique_ptr<ExplainTiModel>> replica_b =
+      core::LoadReplicaForSwap(config_b, shared.corpus, checkpoint_b);
+  ASSERT_TRUE(replica_b.ok()) << replica_b.status().ToString();
+  ASSERT_TRUE(server.SwapSession(replica_b.value()->session()).ok());
+  EXPECT_EQ(server.current_generation(), 2u);
+  let_traffic_flow();
+
+  // Aborted swap: the checkpoint load fails mid-rollout; nothing to roll
+  // back, generation 2 keeps serving untouched.
+  util::fault::FaultSpec spec;
+  spec.code = util::StatusCode::kIoError;
+  spec.message = "checkpoint store unreachable";
+  util::fault::FaultRegistry::Instance().Arm("swap.load_weights", spec);
+  const util::StatusOr<std::unique_ptr<ExplainTiModel>> aborted =
+      core::LoadReplicaForSwap(SharedModel::MakeConfig(), shared.corpus,
+                               checkpoint_b);
+  util::fault::FaultRegistry::Instance().DisarmAll();
+  ASSERT_FALSE(aborted.ok());
+  EXPECT_EQ(aborted.status().code(), util::StatusCode::kIoError);
+  EXPECT_EQ(server.current_generation(), 2u);
+  let_traffic_flow();
+
+  // Swap 2 (gen 3): back to A. Swap 3 (gen 4): to B again.
+  ASSERT_TRUE(server.SwapSession(session_a).ok());
+  EXPECT_EQ(server.current_generation(), 3u);
+  let_traffic_flow();
+  ASSERT_TRUE(server.SwapSession(model_b.session()).ok());
+  EXPECT_EQ(server.current_generation(), 4u);
+  let_traffic_flow();
+
+  stop.store(true, std::memory_order_relaxed);
+  for (std::thread& client : clients) client.join();
+  for (int c = 0; c < kClients; ++c) {
+    EXPECT_EQ(failures[static_cast<size_t>(c)], "") << "client " << c;
+  }
+  // Zero drop: every submitted request came back served and OK.
+  EXPECT_EQ(served.load(), submitted.load());
+  EXPECT_GT(served.load(), 0);
+  EXPECT_EQ(server.metrics().GetCounter("serve.swaps")->Value(), 3);
+}
+
+TEST(ServeHotSwapTest, SwapFaultAbortsWithoutTouchingServingState) {
+  util::fault::FaultRegistry::Instance().DisarmAll();
+  const InferenceSession& session = Shared().model.session();
+  ServerOptions options;
+  options.cache.enabled = true;
+  InferenceServer server(session, options);
+  const ServeResponse cold =
+      server.ServeSync(MakeRequest(ServeMethod::kPredict, 0));
+  ASSERT_TRUE(cold.status.ok());
+
+  util::fault::FaultSpec spec;
+  spec.code = util::StatusCode::kInternal;
+  spec.message = "rollout controller crashed";
+  util::fault::FaultRegistry::Instance().Arm("serve.swap", spec);
+  const util::Status swap = server.SwapSession(session);
+  util::fault::FaultRegistry::Instance().DisarmAll();
+  EXPECT_EQ(swap.code(), util::StatusCode::kInternal);
+  EXPECT_EQ(server.current_generation(), 1u);
+  EXPECT_EQ(server.metrics().GetCounter("serve.swap_aborted")->Value(), 1);
+
+  // The cache survived the aborted swap (no invalidation happened) and
+  // the old generation still serves.
+  const ServeResponse hot =
+      server.ServeSync(MakeRequest(ServeMethod::kPredict, 0));
+  ASSERT_TRUE(hot.status.ok());
+  EXPECT_TRUE(hot.cache_hit);
+
+  // A successful swap *does* invalidate: the next request recomputes.
+  ASSERT_TRUE(server.SwapSession(session).ok());
+  const ServeResponse after =
+      server.ServeSync(MakeRequest(ServeMethod::kPredict, 0));
+  ASSERT_TRUE(after.status.ok());
+  EXPECT_FALSE(after.cache_hit);
+  EXPECT_EQ(after.model_generation, 2u);
 }
 
 // ---------------------------------------------------------------------------

@@ -254,5 +254,25 @@ TEST(DeadlineTest, NonPositiveTimeoutMeansNoDeadline) {
   EXPECT_FALSE(DeadlineExpired(kNoDeadline));
 }
 
+TEST(DeadlineTest, HugeTimeoutSaturatesToNoDeadlineInsteadOfWrapping) {
+  // now + timeout would overflow int64 for these; a wrap would produce a
+  // deadline in the distant past and instantly expire every request.
+  EXPECT_EQ(DeadlineAfterUs(kNoDeadline), kNoDeadline);
+  EXPECT_EQ(DeadlineAfterUs(kNoDeadline - 1), kNoDeadline);
+  const int64_t saturated = DeadlineAfterUs(kNoDeadline - MonotonicNowUs());
+  EXPECT_EQ(saturated, kNoDeadline);
+  EXPECT_FALSE(DeadlineExpired(saturated));
+}
+
+TEST(DeadlineTest, LargeFiniteTimeoutStaysFiniteAndUnexpired) {
+  // A century in microseconds: far away, but nowhere near overflow —
+  // must NOT saturate (a finite requested deadline stays finite).
+  const int64_t century_us = 100LL * 365 * 24 * 3600 * 1'000'000;
+  const int64_t deadline = DeadlineAfterUs(century_us);
+  EXPECT_NE(deadline, kNoDeadline);
+  EXPECT_GT(deadline, MonotonicNowUs());
+  EXPECT_FALSE(DeadlineExpired(deadline));
+}
+
 }  // namespace
 }  // namespace explainti::util
