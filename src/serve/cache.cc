@@ -9,13 +9,20 @@ namespace explainti::serve {
 
 ResponseCache::ResponseCache(const CacheOptions& options)
     : capacity_(options.capacity),
-      num_shards_(std::max(1, options.num_shards)),
-      per_shard_capacity_(std::max<int64_t>(
-          1, options.capacity / std::max(1, options.num_shards))) {
+      // Clamp shards to capacity (a shard below one entry is useless) and
+      // spread the remainder so the shard capacities sum exactly to the
+      // configured capacity — the cache never holds more than capacity()
+      // and never silently rounds it down.
+      num_shards_(static_cast<int>(std::max<int64_t>(
+          1, std::min<int64_t>(options.num_shards, options.capacity)))) {
   CHECK(options.capacity >= 1) << "cache capacity must be >= 1";
   shards_.reserve(static_cast<size_t>(num_shards_));
+  const int64_t base = capacity_ / num_shards_;
+  const int64_t remainder = capacity_ % num_shards_;
   for (int i = 0; i < num_shards_; ++i) {
-    shards_.push_back(std::make_unique<Shard>());
+    auto shard = std::make_unique<Shard>();
+    shard->capacity = base + (i < remainder ? 1 : 0);
+    shards_.push_back(std::move(shard));
   }
 }
 
@@ -24,7 +31,8 @@ ResponseCache::Shard& ResponseCache::ShardFor(const Key& key) {
                   static_cast<size_t>(num_shards_)];
 }
 
-bool ResponseCache::Lookup(const Key& key, ServeResponse* out) {
+bool ResponseCache::Lookup(const Key& key, const text::EncodedSequence& input,
+                           ServeResponse* out) {
   // A faulted cache must degrade to recomputation, never wrong data:
   // report a miss and let the request take the normal batched path.
   if (util::fault::ShouldInject("serve.cache.lookup",
@@ -35,7 +43,12 @@ bool ResponseCache::Lookup(const Key& key, ServeResponse* out) {
   Shard& shard = ShardFor(key);
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
-  if (it == shard.index.end()) {
+  // The stored input must match exactly: the 64-bit key hash is not
+  // collision-proof (FNV-1a, craftable), and entries are shared across
+  // tenants, so a hash match alone must never select a payload. A
+  // collision degrades to a miss (recomputation), never wrong data.
+  if (it == shard.index.end() || it->second->second.input_ids != input.ids ||
+      it->second->second.input_segments != input.segments) {
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
@@ -50,9 +63,12 @@ bool ResponseCache::Lookup(const Key& key, ServeResponse* out) {
   return true;
 }
 
-void ResponseCache::Insert(const Key& key, const ServeResponse& response) {
+void ResponseCache::Insert(const Key& key, const text::EncodedSequence& input,
+                           const ServeResponse& response) {
   CHECK(response.status.ok()) << "only OK responses are cacheable";
   Payload payload;
+  payload.input_ids = input.ids;
+  payload.input_segments = input.segments;
   payload.labels = response.labels;
   payload.probabilities = response.probabilities;
   payload.explanation = response.explanation;
@@ -62,14 +78,15 @@ void ResponseCache::Insert(const Key& key, const ServeResponse& response) {
   std::lock_guard<std::mutex> lock(shard.mu);
   auto it = shard.index.find(key);
   if (it != shard.index.end()) {
-    // Same content hash → same payload; just refresh recency.
+    // Refresh recency. On a hash collision the newer content takes the
+    // slot; the loser's requests verify-miss and recompute.
     shard.lru.splice(shard.lru.begin(), shard.lru, it->second);
     it->second->second = std::move(payload);
     return;
   }
   shard.lru.emplace_front(key, std::move(payload));
   shard.index.emplace(key, shard.lru.begin());
-  if (static_cast<int64_t>(shard.lru.size()) > per_shard_capacity_) {
+  if (static_cast<int64_t>(shard.lru.size()) > shard.capacity) {
     shard.index.erase(shard.lru.back().first);
     shard.lru.pop_back();
     evictions_.fetch_add(1, std::memory_order_relaxed);

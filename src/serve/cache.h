@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "serve/request.h"
+#include "text/serializer.h"
 
 namespace explainti::serve {
 
@@ -21,7 +22,8 @@ struct CacheOptions {
   /// evicts its own least-recently-used entry.
   int64_t capacity = 1024;
   /// Independently locked shards. Lookups hash the key to one shard, so
-  /// concurrent workers on different keys rarely contend.
+  /// concurrent workers on different keys rarely contend. Clamped to
+  /// `capacity` so the shard capacities always sum exactly to it.
   int num_shards = 8;
 };
 
@@ -33,6 +35,14 @@ struct CacheOptions {
 /// means repeated tables dedupe even when clients address them through
 /// different sample ids, and an id remapped to different content never
 /// serves stale data.
+///
+/// The 64-bit FNV-1a key hash is non-cryptographic and shared across
+/// tenants, so a hash alone must never select a payload: every entry
+/// also stores the exact serialised input (ids + segments) it was
+/// computed from, and Lookup compares it against the caller's input,
+/// treating any mismatch — a collision, crafted or accidental — as a
+/// miss. A colliding entry can therefore cost a recomputation, never a
+/// wrong (or another tenant's) payload.
 ///
 /// Values are the full response payloads — for kExplain the entire
 /// core::Explanation struct, including the ANN-degradation flag and note
@@ -65,15 +75,21 @@ class ResponseCache {
 
   /// On a hit, copies the cached payload (labels / probabilities /
   /// explanation + model_generation) into `*out`, marks it cache_hit,
-  /// promotes the entry to most-recently-used, and returns true. On a
-  /// miss (or when the "serve.cache.lookup" fault fires) returns false
-  /// and leaves `*out` untouched.
-  bool Lookup(const Key& key, ServeResponse* out);
+  /// promotes the entry to most-recently-used, and returns true. A hit
+  /// requires the stored input to equal `input` (ids + segments)
+  /// exactly; a key whose hash matches but whose content differs — a
+  /// collision — reports a miss. Also returns false on a plain miss and
+  /// when the "serve.cache.lookup" fault fires, leaving `*out` untouched.
+  bool Lookup(const Key& key, const text::EncodedSequence& input,
+              ServeResponse* out);
 
   /// Inserts (or refreshes) the payload of `response` under `key`,
-  /// evicting the shard's LRU entry at capacity. Only OK responses are
-  /// cacheable; callers must not insert rejected/shed responses.
-  void Insert(const Key& key, const ServeResponse& response);
+  /// storing `input` for hit-time verification and evicting the shard's
+  /// LRU entry at capacity. `key.input_hash` must be the hash of `input`.
+  /// Only OK responses are cacheable; callers must not insert
+  /// rejected/shed responses.
+  void Insert(const Key& key, const text::EncodedSequence& input,
+              const ServeResponse& response);
 
   /// Drops every entry (model hot-swap invalidation). Hit/miss/eviction
   /// counters survive — they describe the cache's lifetime, not one
@@ -91,9 +107,13 @@ class ResponseCache {
 
  private:
   /// The cached payload: exactly the response fields a hit must
-  /// reproduce. Telemetry fields (queue_wait, batch_size) are not cached
-  /// — a hit reports its own (zero-queue) telemetry.
+  /// reproduce, plus the serialised input it was computed from (compared
+  /// on Lookup so a 64-bit hash collision can never serve it for
+  /// different content). Telemetry fields (queue_wait, batch_size) are
+  /// not cached — a hit reports its own (zero-queue) telemetry.
   struct Payload {
+    std::vector<int> input_ids;
+    std::vector<int> input_segments;
     std::vector<int> labels;
     std::vector<float> probabilities;
     core::Explanation explanation;
@@ -109,6 +129,8 @@ class ResponseCache {
   };
   struct Shard {
     std::mutex mu;
+    /// This shard's entry bound; shard capacities sum to capacity_.
+    int64_t capacity = 0;
     /// Most-recently-used at the front.
     std::list<std::pair<Key, Payload>> lru;
     std::unordered_map<Key, std::list<std::pair<Key, Payload>>::iterator,
@@ -120,7 +142,6 @@ class ResponseCache {
 
   const int64_t capacity_;
   const int num_shards_;
-  const int64_t per_shard_capacity_;
   std::vector<std::unique_ptr<Shard>> shards_;
   std::atomic<int64_t> hits_{0};
   std::atomic<int64_t> misses_{0};

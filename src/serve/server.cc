@@ -72,49 +72,61 @@ util::Status InferenceServer::Submit(ServeRequest request,
     }
   }
 
-  // Admission-time validation: malformed requests are rejected here so
-  // they never occupy queue slots or reach a worker.
-  const core::InferenceSession* session;
-  {
-    std::lock_guard<std::mutex> lock(gen_mu_);
-    session = current_->session;
-  }
-  if (!session->HasTask(request.task)) {
-    metrics_->GetCounter("serve.rejected_invalid")->Increment();
-    return util::Status::InvalidArgument("task not available on this model");
-  }
-  const core::TaskData& task = session->task_data(request.task);
-  if (request.sample_id < 0 ||
-      request.sample_id >= static_cast<int>(task.samples.size())) {
-    metrics_->GetCounter("serve.rejected_invalid")->Increment();
-    return util::Status::InvalidArgument(
-        "sample_id " + std::to_string(request.sample_id) +
-        " out of range [0, " + std::to_string(task.samples.size()) + ")");
-  }
-
   PendingRequest pending;
   pending.request = request;
   pending.on_done = std::move(on_done);
 
-  // Response cache: key on the *content* of the serialised input (token
-  // ids + segments), so repeated tables short-circuit the queue entirely.
-  // A hit completes inline, bit-identical to the insert-time computation.
-  if (cache_ != nullptr) {
-    uint64_t hash = util::HashInts(task.samples[request.sample_id].seq.ids);
-    hash = util::HashInts(task.samples[request.sample_id].seq.segments, hash);
-    pending.input_hash = hash;
-    ServeResponse response;
-    if (cache_->Lookup({request.method, request.task, hash}, &response)) {
-      metrics_->GetCounter("serve.accepted")->Increment();
-      metrics_->GetCounter("serve.cache_hits")->Increment();
-      if (Counter* c = TenantCounter(request.tenant_id, "accepted")) {
-        c->Increment();
+  // Admission-time validation: malformed requests are rejected here so
+  // they never occupy queue slots or reach a worker. Validation, content
+  // hashing, and the cache lookup all read the serving session, so the
+  // generation stays pinned throughout: SwapSession's drain then covers
+  // in-flight admissions too, and the caller can never free the old
+  // session while Submit is still reading it.
+  util::Status valid = util::Status::OK();
+  bool cache_hit = false;
+  ServeResponse hit;
+  {
+    std::shared_ptr<Generation> generation = PinGeneration();
+    const core::InferenceSession& session = *generation->session;
+    if (!session.HasTask(request.task)) {
+      valid = util::Status::InvalidArgument("task not available on this model");
+    } else {
+      const core::TaskData& task = session.task_data(request.task);
+      if (request.sample_id < 0 ||
+          request.sample_id >= static_cast<int>(task.samples.size())) {
+        valid = util::Status::InvalidArgument(
+            "sample_id " + std::to_string(request.sample_id) +
+            " out of range [0, " + std::to_string(task.samples.size()) + ")");
+      } else if (cache_ != nullptr) {
+        // Response cache: key on the *content* of the serialised input
+        // (token ids + segments), so repeated tables short-circuit the
+        // queue entirely. A hit completes inline, bit-identical to the
+        // insert-time computation.
+        const text::EncodedSequence& seq =
+            task.samples[request.sample_id].seq;
+        uint64_t hash = util::HashInts(seq.ids);
+        hash = util::HashInts(seq.segments, hash);
+        pending.input_hash = hash;
+        cache_hit =
+            cache_->Lookup({request.method, request.task, hash}, seq, &hit);
       }
-      response.status = util::Status::OK();
-      response.trace_id = request.trace_id;
-      pending.on_done(std::move(response));
-      return util::Status::OK();
     }
+    UnpinGeneration(generation);
+  }
+  if (!valid.ok()) {
+    metrics_->GetCounter("serve.rejected_invalid")->Increment();
+    return valid;
+  }
+  if (cache_hit) {
+    metrics_->GetCounter("serve.accepted")->Increment();
+    metrics_->GetCounter("serve.cache_hits")->Increment();
+    if (Counter* c = TenantCounter(request.tenant_id, "accepted")) {
+      c->Increment();
+    }
+    hit.status = util::Status::OK();
+    hit.trace_id = request.trace_id;
+    pending.on_done(std::move(hit));
+    return util::Status::OK();
   }
 
   std::vector<PendingRequest> preempted;
@@ -322,6 +334,39 @@ void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
   }
   const ServeMethod method = batch.front().request.method;
   const core::TaskKind task = batch.front().request.task;
+
+  // Requests were validated against the generation current at admission,
+  // but the batch executes on whatever generation is pinned now: a
+  // hot-swap in between may have removed the task or shrunk the sample
+  // set. Re-validate against the executing session and complete
+  // mismatches with a typed status — a stale request must fail alone,
+  // never trip a CHECK that takes the whole process down.
+  const int num_samples =
+      session.HasTask(task)
+          ? static_cast<int>(session.task_data(task).samples.size())
+          : 0;
+  size_t keep = 0;
+  for (size_t i = 0; i < batch.size(); ++i) {
+    PendingRequest& pending = batch[i];
+    if (pending.request.sample_id >= 0 &&
+        pending.request.sample_id < num_samples) {
+      if (keep != i) batch[keep] = std::move(pending);
+      ++keep;
+      continue;
+    }
+    if (metrics != nullptr) {
+      metrics->GetCounter("serve.rejected_stale")->Increment();
+    }
+    ServeResponse stale;
+    stale.status = util::Status::FailedPrecondition(
+        "request invalidated by a model hot-swap while queued; retry "
+        "against the current generation");
+    stale.trace_id = pending.request.trace_id;
+    pending.on_done(std::move(stale));
+  }
+  batch.resize(keep);
+  if (batch.empty()) return;
+
   const int64_t dispatch_us = util::MonotonicNowUs();
 
   std::vector<int> ids;
@@ -389,8 +434,13 @@ void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
     if (queue_wait != nullptr) queue_wait->Record(response.queue_wait_us);
     if (e2e != nullptr) e2e->Record(response.total_us);
     if (cache != nullptr && pending.input_hash != 0) {
+      // Stores the executing generation's input alongside the payload:
+      // a later lookup whose content differs (hash collision, or a swap
+      // between hashing and execution) verify-misses instead of being
+      // served this entry.
       cache->Insert(
           {pending.request.method, pending.request.task, pending.input_hash},
+          session.task_data(task).samples[pending.request.sample_id].seq,
           response);
     }
     pending.on_done(std::move(response));

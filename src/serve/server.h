@@ -62,17 +62,23 @@ struct ServerOptions {
 /// exactly one completion callback: a served (OK or kDeadlineExceeded)
 /// response from a worker, an OK cache-hit response inline from Submit,
 /// a kResourceExhausted response when preempted by a higher-priority
-/// arrival, or — only when num_workers == 0 — a kFailedPrecondition
+/// arrival, a kFailedPrecondition response when a hot-swap invalidated
+/// the request (task/sample gone on the new generation) while it was
+/// queued, or — only when num_workers == 0 — a kFailedPrecondition
 /// response from Shutdown.
 ///
 /// Hot swap: SwapSession atomically redirects workers to a new frozen
 /// session via a generation pointer. Batches in flight finish on the
 /// generation they started with (a batch never observes two sessions —
 /// no torn reads), the swap blocks until the old generation has fully
-/// drained, and the response cache is invalidated before new-generation
-/// traffic can be served stale entries. No accepted request is dropped
-/// by a swap. Fault site "serve.swap" aborts the swap with the injected
-/// status; the old generation keeps serving.
+/// drained — Submit pins the generation while it validates and hashes,
+/// so the drain covers in-flight admissions too — and the response
+/// cache is invalidated before new-generation traffic can be served
+/// stale entries. No accepted request is dropped by a swap: a queued
+/// request the new generation cannot serve (task/sample gone) completes
+/// with kFailedPrecondition at dispatch instead of executing. Fault
+/// site "serve.swap" aborts the swap with the injected status; the old
+/// generation keeps serving.
 ///
 /// Results are bit-identical to calling the InferenceSession directly:
 /// batching and caching change scheduling, never numerics (golden-tested

@@ -130,6 +130,15 @@ ServeRequest MakeRequest(ServeMethod method, int sample_id,
   return request;
 }
 
+// Distinct single-token input per `v`, for driving ResponseCache
+// directly (the cache verifies stored input content on every hit).
+text::EncodedSequence SeqOf(int v) {
+  text::EncodedSequence seq;
+  seq.ids = {v};
+  seq.segments = {0};
+  return seq;
+}
+
 // ---------------------------------------------------------------------------
 // Golden bit-equality: batched serving must produce exactly what direct
 // InferenceSession calls produce, at several batch sizes.
@@ -678,24 +687,83 @@ TEST(ResponseCacheTest, LruEvictsWithinShardAndCountsEverything) {
   const auto key = [](uint64_t hash) {
     return ResponseCache::Key{ServeMethod::kPredict, TaskKind::kType, hash};
   };
-  cache.Insert(key(1), response);
-  cache.Insert(key(2), response);
+  cache.Insert(key(1), SeqOf(1), response);
+  cache.Insert(key(2), SeqOf(2), response);
   ServeResponse out;
-  EXPECT_TRUE(cache.Lookup(key(1), &out));  // Promotes 1 over 2.
+  EXPECT_TRUE(cache.Lookup(key(1), SeqOf(1), &out));  // Promotes 1 over 2.
   EXPECT_TRUE(out.cache_hit);
   EXPECT_EQ(out.labels, response.labels);
-  cache.Insert(key(3), response);  // Evicts 2, the LRU entry.
-  EXPECT_FALSE(cache.Lookup(key(2), &out));
-  EXPECT_TRUE(cache.Lookup(key(1), &out));
-  EXPECT_TRUE(cache.Lookup(key(3), &out));
+  cache.Insert(key(3), SeqOf(3), response);  // Evicts 2, the LRU entry.
+  EXPECT_FALSE(cache.Lookup(key(2), SeqOf(2), &out));
+  EXPECT_TRUE(cache.Lookup(key(1), SeqOf(1), &out));
+  EXPECT_TRUE(cache.Lookup(key(3), SeqOf(3), &out));
   EXPECT_EQ(cache.evictions(), 1);
   EXPECT_EQ(cache.hits(), 3);
   EXPECT_EQ(cache.misses(), 1);
   EXPECT_EQ(cache.size(), 2);
   cache.Clear();
   EXPECT_EQ(cache.size(), 0);
-  EXPECT_FALSE(cache.Lookup(key(1), &out));
+  EXPECT_FALSE(cache.Lookup(key(1), SeqOf(1), &out));
   EXPECT_EQ(cache.hits(), 3);  // Counters survive Clear().
+}
+
+TEST(ResponseCacheTest, CollidingKeyWithDifferentContentIsAMiss) {
+  CacheOptions options;
+  options.enabled = true;
+  options.capacity = 4;
+  options.num_shards = 1;
+  ResponseCache cache(options);
+
+  ServeResponse response;
+  response.status = util::Status::OK();
+  response.labels = {7};
+  const ResponseCache::Key key{ServeMethod::kPredict, TaskKind::kType, 42};
+  cache.Insert(key, SeqOf(1), response);
+
+  // Same 64-bit key (a forced FNV collision), different input content:
+  // the entry must not be served — a collision degrades to a verified
+  // miss and a recomputation, never another input's (or another
+  // tenant's) payload.
+  ServeResponse out;
+  EXPECT_FALSE(cache.Lookup(key, SeqOf(2), &out));
+  EXPECT_TRUE(out.labels.empty());
+  EXPECT_EQ(cache.misses(), 1);
+
+  // The content the entry was computed from still hits.
+  EXPECT_TRUE(cache.Lookup(key, SeqOf(1), &out));
+  EXPECT_EQ(out.labels, response.labels);
+  EXPECT_EQ(cache.hits(), 1);
+}
+
+TEST(ResponseCacheTest, CapacityIsExactRegardlessOfShardCount) {
+  // More shards than capacity: shards clamp so the bound stays exact.
+  CacheOptions options;
+  options.enabled = true;
+  options.capacity = 4;
+  options.num_shards = 8;
+  ResponseCache cache(options);
+  EXPECT_EQ(cache.capacity(), 4);
+
+  ServeResponse response;
+  response.status = util::Status::OK();
+  const auto insert = [&response](ResponseCache& c, int i) {
+    c.Insert(ResponseCache::Key{ServeMethod::kPredict, TaskKind::kType,
+                                static_cast<uint64_t>(i)},
+             SeqOf(i), response);
+  };
+  for (int i = 1; i <= 64; ++i) insert(cache, i);
+  EXPECT_EQ(cache.size(), 4);
+  EXPECT_EQ(cache.evictions(), 60);
+
+  // Non-divisible capacity: the remainder is distributed, so the shard
+  // bounds sum to exactly the configured capacity (not rounded down).
+  CacheOptions odd;
+  odd.enabled = true;
+  odd.capacity = 5;
+  odd.num_shards = 2;
+  ResponseCache cache5(odd);
+  for (int i = 1; i <= 64; ++i) insert(cache5, i);
+  EXPECT_EQ(cache5.size(), 5);
 }
 
 TEST(ServeCacheTest, RepeatedExplainHitsInlineAndBitIdentical) {
@@ -900,6 +968,36 @@ TEST(ServeHotSwapTest, SwapFaultAbortsWithoutTouchingServingState) {
   ASSERT_TRUE(after.status.ok());
   EXPECT_FALSE(after.cache_hit);
   EXPECT_EQ(after.model_generation, 2u);
+}
+
+// A request is validated against the generation current at admission
+// but executes on whatever generation its batch pins: if a hot-swap in
+// between shrank the sample set, dispatch must fail that request with a
+// typed status — alone, without crashing — while the rest of the batch
+// serves normally.
+TEST(ServeHotSwapTest, StaleRequestAfterSwapFailsTypedNotCrash) {
+  const InferenceSession& session = Shared().model.session();
+  MetricsRegistry metrics;
+
+  ServeResponse valid_out, stale_out;
+  std::vector<PendingRequest> batch(2);
+  batch[0].request = MakeRequest(ServeMethod::kPredict, 0, 1);
+  batch[0].on_done = [&](ServeResponse&& r) { valid_out = std::move(r); };
+  // Valid when admitted (notionally, on a bigger pre-swap generation),
+  // out of range on the session this batch executes against.
+  batch[1].request = MakeRequest(ServeMethod::kPredict, 1 << 28, 2);
+  batch[1].on_done = [&](ServeResponse&& r) { stale_out = std::move(r); };
+
+  InferenceServer::ExecuteBatch(session, batch, &metrics);
+
+  EXPECT_EQ(stale_out.status.code(), util::StatusCode::kFailedPrecondition);
+  EXPECT_EQ(stale_out.trace_id, 2u);
+  EXPECT_TRUE(stale_out.labels.empty());
+  ASSERT_TRUE(valid_out.status.ok()) << valid_out.status.ToString();
+  EXPECT_EQ(valid_out.trace_id, 1u);
+  EXPECT_EQ(valid_out.labels, session.Predict(TaskKind::kType, 0));
+  EXPECT_EQ(valid_out.batch_size, 1);  // The stale entry left the batch.
+  EXPECT_EQ(metrics.GetCounter("serve.rejected_stale")->Value(), 1);
 }
 
 // ---------------------------------------------------------------------------
