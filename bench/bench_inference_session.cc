@@ -4,21 +4,34 @@
 // and the steady-state workspace-arena miss count. Emits
 // BENCH_inference.json.
 //
-// Besides timing, the run asserts the two paths are bit-identical (the
-// contract the golden tests prove in miniature) and that a warmed-up
-// no-grad Predict performs zero tensor heap allocations — every node and
+// Since the compiled-plan work the file also measures plan-vs-graph:
+// two sessions over identical weights — one serving from compiled
+// inference plans (EXPLAINTI_PLAN=on), one pinned to the graph walk
+// (EXPLAINTI_PLAN=off) — compared per method (predict,
+// predict_probabilities, explain) and per batch size, plus a raw
+// plan-executor section (RunPlan on caller-owned buffers). The
+// "plan_vs_graph" JSON object is the input to ci/check_bench.py, which
+// fails the release CI job if the plan path regresses behind the graph
+// walk at any (method, batch_size) or stops being allocation-free.
+//
+// Besides timing, the run asserts the serving paths are bit-identical
+// (the contract the golden tests prove in miniature) and that warmed-up
+// no-grad serving performs zero tensor heap allocations — every node and
 // data buffer is recycled through the per-thread arena.
 
 #include <algorithm>
 #include <cstdint>
+#include <cstdlib>
 #include <cstring>
 #include <fstream>
 #include <iostream>
+#include <memory>
 #include <string>
 #include <vector>
 
 #include "bench/bench_common.h"
 #include "core/explain_ti_model.h"
+#include "core/inference_plan.h"
 #include "core/inference_session.h"
 #include "data/wiki_generator.h"
 #include "tensor/workspace.h"
@@ -54,6 +67,14 @@ double ChecksumFloats(const std::vector<float>& v) {
     sum += static_cast<double>(bits % 9973);
   }
   return sum;
+}
+
+void CheckBitEqual(const std::vector<float>& a, const std::vector<float>& b,
+                   const char* what, int id) {
+  CHECK_EQ(a.size(), b.size()) << what << " size, sample " << id;
+  CHECK(a.empty() ||
+        std::memcmp(a.data(), b.data(), a.size() * sizeof(float)) == 0)
+      << what << " diverged between plan and graph paths, sample " << id;
 }
 
 // Accumulates one path's measurements across interleaved rounds.
@@ -97,13 +118,60 @@ class PathMeter {
   int64_t arena_misses_ = 0;
 };
 
+std::string PathJson(const PathStats& s) {
+  std::ostringstream out;
+  out << "{\"p50_us\": " << s.p50_us << ", \"p99_us\": " << s.p99_us
+      << ", \"mean_us\": " << s.mean_us
+      << ", \"allocations_per_call\": " << s.allocs_per_call
+      << ", \"steady_state_arena_misses\": " << s.arena_misses << "}";
+  return out.str();
+}
+
 void EmitPath(std::ofstream& json, const char* name, const PathStats& s,
               bool last) {
-  json << "    \"" << name << "\": {\"p50_us\": " << s.p50_us
-       << ", \"p99_us\": " << s.p99_us << ", \"mean_us\": " << s.mean_us
-       << ", \"allocations_per_call\": " << s.allocs_per_call
-       << ", \"steady_state_arena_misses\": " << s.arena_misses << "}"
-       << (last ? "\n" : ",\n");
+  json << "    \"" << name << "\": " << PathJson(s) << (last ? "\n" : ",\n");
+}
+
+// Splits `ids` into consecutive batches of `batch_size` (last may be
+// short) — the request mix a micro-batching server would dispatch.
+std::vector<std::vector<int>> MakeBatches(const std::vector<int>& ids,
+                                          size_t batch_size) {
+  std::vector<std::vector<int>> batches;
+  for (size_t i = 0; i < ids.size(); i += batch_size) {
+    batches.emplace_back(
+        ids.begin() + static_cast<int64_t>(i),
+        ids.begin() +
+            static_cast<int64_t>(std::min(i + batch_size, ids.size())));
+  }
+  return batches;
+}
+
+// One (method, batch_size) cell of the plan-vs-graph matrix: latency per
+// *batch call* on each session, interleaved round by round.
+struct MatrixCell {
+  PathStats plan;
+  PathStats graph;
+};
+
+template <typename BatchCall>
+MatrixCell MeasureCell(const std::vector<std::vector<int>>& batches,
+                       int rounds, const core::InferenceSession& plan_session,
+                       const core::InferenceSession& graph_session,
+                       BatchCall call) {
+  PathMeter plan_m, graph_m;
+  std::vector<int> batch_indices(batches.size());
+  for (size_t i = 0; i < batches.size(); ++i) {
+    batch_indices[static_cast<size_t>(i)] = static_cast<int>(i);
+  }
+  for (int r = 0; r < rounds; ++r) {
+    plan_m.MeasureRound(batch_indices, [&](int b) {
+      call(plan_session, batches[static_cast<size_t>(b)]);
+    });
+    graph_m.MeasureRound(batch_indices, [&](int b) {
+      call(graph_session, batches[static_cast<size_t>(b)]);
+    });
+  }
+  return {plan_m.Stats(), graph_m.Stats()};
 }
 
 }  // namespace
@@ -117,9 +185,24 @@ int main() {
   core::ExplainTiConfig config;
   config.sample_size = 4;
   config.top_k = 3;
-  core::ExplainTiModel model(config, corpus);
-  model.RefreshStores();
-  const core::InferenceSession& session = model.session();
+
+  // Two models over identical weights (same config seed, same corpus):
+  // one session compiles inference plans, the other is pinned to the
+  // graph walk. The env var is latched in the session constructor, so
+  // scoping it around each construction is sufficient.
+  setenv("EXPLAINTI_PLAN", "off", 1);
+  auto graph_model = std::make_unique<core::ExplainTiModel>(config, corpus);
+  setenv("EXPLAINTI_PLAN", "on", 1);
+  auto plan_model = std::make_unique<core::ExplainTiModel>(config, corpus);
+  unsetenv("EXPLAINTI_PLAN");
+  graph_model->RefreshStores();
+  plan_model->RefreshStores();
+  core::ExplainTiModel& model = *plan_model;  // Tape reference path.
+  const core::InferenceSession& session = plan_model->session();
+  const core::InferenceSession& graph_session = graph_model->session();
+  CHECK(session.plans_enabled()) << "plan session failed to compile plans";
+  CHECK(!graph_session.plans_enabled())
+      << "EXPLAINTI_PLAN=off session unexpectedly built plans";
 
   const core::TaskData& task = model.task_data(core::TaskKind::kType);
   std::vector<int> ids;
@@ -129,14 +212,29 @@ int main() {
   }
   const int kRounds = 25;  // 20 ids x 25 rounds = 500 calls per path.
 
-  // Bit-equality gate before timing: the fast path must serve exactly
-  // what the tape path serves.
+  // Bit-equality gates before timing: the fast paths must serve exactly
+  // what the tape path serves, and the plan path exactly what the graph
+  // walk serves — probabilities and [CLS] encodings alike.
   for (int id : ids) {
     const double tape = ChecksumFloats(
         model.PredictProbabilities(core::TaskKind::kType, id));
     const double nograd = ChecksumFloats(
         session.PredictProbabilities(core::TaskKind::kType, id));
     CHECK_EQ(tape, nograd) << "no-grad probabilities drifted on sample " << id;
+    CheckBitEqual(session.PredictProbabilities(core::TaskKind::kType, id),
+                  graph_session.PredictProbabilities(core::TaskKind::kType, id),
+                  "probabilities", id);
+    CHECK(session.Predict(core::TaskKind::kType, id) ==
+          graph_session.Predict(core::TaskKind::kType, id))
+        << "plan Predict diverged on sample " << id;
+  }
+  {
+    const auto plan_embs = session.EncodeBatch(core::TaskKind::kType, ids);
+    const auto graph_embs =
+        graph_session.EncodeBatch(core::TaskKind::kType, ids);
+    for (size_t i = 0; i < ids.size(); ++i) {
+      CheckBitEqual(plan_embs[i], graph_embs[i], "[CLS] encoding", ids[i]);
+    }
   }
 
   auto tape_predict_call = [&](int id) { model.Predict(core::TaskKind::kType, id); };
@@ -152,6 +250,8 @@ int main() {
       nograd_predict_call(id);
       tape_explain_call(id);
       nograd_explain_call(id);
+      graph_session.Predict(core::TaskKind::kType, id);
+      graph_session.Explain(core::TaskKind::kType, id);
     }
   }
 
@@ -175,6 +275,91 @@ int main() {
   CHECK_EQ(nograd_predict.arena_misses, 0)
       << "warmed-up no-grad Predict fell back to the heap";
 
+  // -- Plan vs graph walk, per method and batch size ----------------------
+  const std::vector<size_t> kBatchSizes = {1, 4, 8};
+  const int kMatrixRounds = 12;
+  struct MethodRow {
+    const char* name;
+    std::vector<MatrixCell> cells;  // Parallel to kBatchSizes.
+  };
+  std::vector<MethodRow> matrix = {
+      {"predict", {}}, {"predict_probabilities", {}}, {"explain", {}}};
+  for (size_t bi = 0; bi < kBatchSizes.size(); ++bi) {
+    const auto batches = MakeBatches(ids, kBatchSizes[bi]);
+    matrix[0].cells.push_back(MeasureCell(
+        batches, kMatrixRounds, session, graph_session,
+        [](const core::InferenceSession& s, const std::vector<int>& b) {
+          s.PredictBatch(core::TaskKind::kType, b);
+        }));
+    matrix[1].cells.push_back(MeasureCell(
+        batches, kMatrixRounds, session, graph_session,
+        [](const core::InferenceSession& s, const std::vector<int>& b) {
+          s.PredictProbabilitiesBatch(core::TaskKind::kType, b);
+        }));
+    matrix[2].cells.push_back(MeasureCell(
+        batches, kMatrixRounds, session, graph_session,
+        [](const core::InferenceSession& s, const std::vector<int>& b) {
+          s.ExplainBatch(core::TaskKind::kType, b);
+        }));
+  }
+
+  // -- Raw plan executor: RunPlan on caller-owned buffers -----------------
+  // Serving entry points return freshly allocated result vectors, so the
+  // zero-allocation property is asserted where it holds by construction:
+  // the executor itself. Warm the arena bucket, then demand zero heap
+  // traffic and zero pool misses.
+  PathStats plan_executor;
+  {
+    const core::InferencePlan* plan =
+        session.PlanFor(core::TaskKind::kType, ids.front());
+    CHECK(plan != nullptr);
+    const core::TaskSample& sample =
+        task.samples[static_cast<size_t>(ids.front())];
+    std::vector<float> encoder_out(
+        static_cast<size_t>(plan->seq_len * plan->d_model));
+    std::vector<float> logits(
+        static_cast<size_t>(std::max<int64_t>(plan->num_labels, 1)));
+    core::PlanRun run;
+    run.token_ids = sample.seq.ids.data();
+    run.segment_ids =
+        plan->has_segments ? sample.seq.segments.data() : nullptr;
+    run.encoder_out = encoder_out.data();
+    run.encoder_out_rows = plan->seq_len;
+    run.logits = plan->logits_off >= 0 ? logits.data() : nullptr;
+
+    core::RunPlan(*plan, run);  // Warm-up.
+    core::RunPlan(*plan, run);
+
+    const int kExecRounds = 200;
+    std::vector<double> lat_us;
+    lat_us.reserve(kExecRounds);
+    const tensor::WorkspaceStats ws_before =
+        tensor::ThisThreadWorkspaceStats();
+    const util::AllocCounts heap_before = util::ThisThreadAllocCounts();
+    for (int r = 0; r < kExecRounds; ++r) {
+      util::WallTimer timer;
+      core::RunPlan(*plan, run);
+      lat_us.push_back(timer.ElapsedSeconds() * 1e6);
+    }
+    const util::AllocCounts heap_after = util::ThisThreadAllocCounts();
+    const tensor::WorkspaceStats ws_after = tensor::ThisThreadWorkspaceStats();
+
+    double total = 0.0;
+    for (double v : lat_us) total += v;
+    plan_executor.mean_us = total / static_cast<double>(lat_us.size());
+    plan_executor.p50_us = Percentile(lat_us, 0.50);
+    plan_executor.p99_us = Percentile(lat_us, 0.99);
+    plan_executor.allocs_per_call =
+        static_cast<double>(heap_after.allocations - heap_before.allocations) /
+        static_cast<double>(kExecRounds);
+    plan_executor.arena_misses = static_cast<int64_t>(
+        ws_after.buffer_misses - ws_before.buffer_misses);
+    CHECK_EQ(heap_after.allocations, heap_before.allocations)
+        << "warmed-up RunPlan allocated on the heap";
+    CHECK_EQ(plan_executor.arena_misses, 0)
+        << "warmed-up RunPlan missed the workspace buffer pool";
+  }
+
   const double predict_speedup = tape_predict.p50_us / nograd_predict.p50_us;
   const double explain_speedup = tape_explain.p50_us / nograd_explain.p50_us;
   std::cerr << "[inference] Predict tape p50=" << tape_predict.p50_us
@@ -188,6 +373,18 @@ int main() {
             << " (tape " << tape_predict.allocs_per_call << "), Explain="
             << nograd_explain.allocs_per_call << " (tape "
             << tape_explain.allocs_per_call << ")\n";
+  for (const MethodRow& row : matrix) {
+    for (size_t bi = 0; bi < kBatchSizes.size(); ++bi) {
+      const MatrixCell& cell = row.cells[bi];
+      std::cerr << "[inference] plan-vs-graph " << row.name << " batch="
+                << kBatchSizes[bi] << ": plan p50=" << cell.plan.p50_us
+                << "us graph p50=" << cell.graph.p50_us << "us ("
+                << cell.graph.p50_us / cell.plan.p50_us << "x)\n";
+    }
+  }
+  std::cerr << "[inference] plan executor p50=" << plan_executor.p50_us
+            << "us allocations/call=" << plan_executor.allocs_per_call
+            << "\n";
 
   std::ofstream json("BENCH_inference.json");
   CHECK(json.good()) << "cannot open BENCH_inference.json";
@@ -200,7 +397,21 @@ int main() {
        << ",\n  \"explain\": {\n";
   EmitPath(json, "tape", tape_explain, false);
   EmitPath(json, "nograd", nograd_explain, true);
-  json << "  },\n  \"explain_p50_speedup\": " << explain_speedup << "\n}\n";
+  json << "  },\n  \"explain_p50_speedup\": " << explain_speedup
+       << ",\n  \"plan_vs_graph\": {\n";
+  for (size_t mi = 0; mi < matrix.size(); ++mi) {
+    json << "    \"" << matrix[mi].name << "\": {\n";
+    for (size_t bi = 0; bi < kBatchSizes.size(); ++bi) {
+      const MatrixCell& cell = matrix[mi].cells[bi];
+      json << "      \"batch_" << kBatchSizes[bi]
+           << "\": {\"plan\": " << PathJson(cell.plan)
+           << ", \"graph\": " << PathJson(cell.graph) << "}"
+           << (bi + 1 < kBatchSizes.size() ? ",\n" : "\n");
+    }
+    json << "    },\n";
+  }
+  json << "    \"plan_executor\": " << PathJson(plan_executor)
+       << "\n  }\n}\n";
   std::cerr << "[inference] wrote BENCH_inference.json\n";
   return 0;
 }

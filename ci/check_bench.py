@@ -1,0 +1,126 @@
+#!/usr/bin/env python3
+"""Bench-regression gate over BENCH_inference.json.
+
+Reads the "plan_vs_graph" object bench_inference_session emits and fails
+the job (exit 1) if the compiled-plan serving path has regressed behind
+the graph walk:
+
+  * plan p50 must not exceed graph p50 by more than --max-ratio for any
+    (method, batch_size) cell. Both paths are bound by the same shared
+    GEMM kernels, so their p50s sit within a few percent of each other;
+    the tolerance absorbs container timer noise while still catching a
+    real regression (a broken fusion or a de-pooled allocation shows up
+    as tens of percent, not two).
+  * plan allocations/call must not exceed graph allocations/call in any
+    cell — this is deterministic (allocation counts don't jitter), so it
+    is checked strictly. The plan path exists to allocate less.
+  * the raw plan executor must be allocation-free after warm-up:
+    allocations_per_call == 0 and steady_state_arena_misses == 0,
+    exactly. One stray allocation per RunPlan means an instruction
+    escaped the planned arena.
+
+Stdlib only; CI calls it as
+  python3 ci/check_bench.py <build_dir>/BENCH_inference.json
+"""
+
+import argparse
+import json
+import sys
+
+
+def fmt_us(v):
+    return f"{v:9.1f}"
+
+
+def main():
+    parser = argparse.ArgumentParser(description=__doc__)
+    parser.add_argument("bench_json", help="path to BENCH_inference.json")
+    parser.add_argument(
+        "--max-ratio",
+        type=float,
+        default=1.10,
+        help="max allowed plan_p50 / graph_p50 per cell (default %(default)s, "
+        "a timer-noise guard; the paths share their GEMM kernels)",
+    )
+    args = parser.parse_args()
+
+    try:
+        with open(args.bench_json, "r", encoding="utf-8") as f:
+            bench = json.load(f)
+    except (OSError, ValueError) as err:
+        print(f"check_bench: cannot read {args.bench_json}: {err}",
+              file=sys.stderr)
+        return 1
+
+    matrix = bench.get("plan_vs_graph")
+    if not isinstance(matrix, dict):
+        print("check_bench: BENCH_inference.json has no 'plan_vs_graph' "
+              "object — was the benchmark built from this tree?",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    rows = []
+    for method, cells in matrix.items():
+        if method == "plan_executor":
+            continue
+        for batch, cell in sorted(cells.items()):
+            plan, graph = cell["plan"], cell["graph"]
+            ratio = plan["p50_us"] / graph["p50_us"]
+            rows.append((method, batch, plan, graph, ratio))
+            if ratio > args.max_ratio:
+                failures.append(
+                    f"{method}/{batch}: plan p50 {plan['p50_us']:.1f}us vs "
+                    f"graph p50 {graph['p50_us']:.1f}us "
+                    f"(ratio {ratio:.3f} > {args.max_ratio})")
+            if plan["allocations_per_call"] > graph["allocations_per_call"]:
+                failures.append(
+                    f"{method}/{batch}: plan allocates "
+                    f"{plan['allocations_per_call']:.1f}/call vs graph "
+                    f"{graph['allocations_per_call']:.1f}/call — the plan "
+                    f"path must not allocate more than the graph walk")
+
+    if not rows:
+        print("check_bench: 'plan_vs_graph' has no (method, batch) cells",
+              file=sys.stderr)
+        return 1
+
+    print(f"{'method':24s} {'batch':8s} {'plan p50':>9s} {'graph p50':>9s} "
+          f"{'ratio':>6s} {'plan allocs':>11s} {'graph allocs':>12s}")
+    for method, batch, plan, graph, ratio in rows:
+        print(f"{method:24s} {batch:8s} {fmt_us(plan['p50_us'])} "
+              f"{fmt_us(graph['p50_us'])} {ratio:6.3f} "
+              f"{plan['allocations_per_call']:11.1f} "
+              f"{graph['allocations_per_call']:12.1f}")
+
+    executor = matrix.get("plan_executor")
+    if not isinstance(executor, dict):
+        failures.append("'plan_vs_graph.plan_executor' section missing")
+    else:
+        print(f"\nplan executor: p50 {executor['p50_us']:.1f}us, "
+              f"p99 {executor['p99_us']:.1f}us, "
+              f"{executor['allocations_per_call']:.2f} allocations/call, "
+              f"{executor['steady_state_arena_misses']} arena misses")
+        if executor["allocations_per_call"] != 0:
+            failures.append(
+                f"plan executor allocates "
+                f"{executor['allocations_per_call']:.2f}/call after warm-up "
+                f"(must be exactly 0)")
+        if executor["steady_state_arena_misses"] != 0:
+            failures.append(
+                f"plan executor missed the workspace arena "
+                f"{executor['steady_state_arena_misses']} times after "
+                f"warm-up (must be exactly 0)")
+
+    if failures:
+        print("\ncheck_bench: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ncheck_bench: OK — plan path within tolerance everywhere, "
+          "executor allocation-free")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

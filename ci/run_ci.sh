@@ -2,7 +2,9 @@
 # CI driver: one job per invocation, mirroring .github/workflows/ci.yml.
 #
 #   ci/run_ci.sh release      Release build (warnings-as-errors), full
-#                             ctest suite, parallel-scaling benchmark.
+#                             ctest suite, benchmarks, the
+#                             check_bench.py plan-vs-graph regression
+#                             gate, and the bench-artifacts bundle.
 #   ci/run_ci.sh asan-ubsan   Address+UB sanitizer build, tier1 tests
 #                             plus the chaos suite (fault-injection
 #                             paths are exactly where lifetime bugs
@@ -12,51 +14,81 @@
 #                             region actually fans out under TSan.
 #
 # Run locally exactly as CI does: each job uses its own build directory,
-# so jobs can run back-to-back without reconfiguring.
+# so jobs can run back-to-back without reconfiguring. Set
+# EXPLAINTI_CCACHE=ON in the environment (CI does) to compile through
+# ccache; the flag is forwarded to CMake and ignored when ccache is not
+# installed.
 
 set -euo pipefail
 
 JOB="${1:-release}"
 ROOT="$(cd "$(dirname "$0")/.." && pwd)"
 JOBS="${CI_PARALLEL_JOBS:-$(nproc)}"
+# Per-test wall-clock cap: a hung test fails loudly instead of eating the
+# job-level timeout-minutes budget in silence.
+CTEST_TIMEOUT="${CI_CTEST_TIMEOUT:-300}"
 
 configure_and_build() {
   local build_dir="$1"
   shift
-  cmake -B "$build_dir" -S "$ROOT" -DEXPLAINTI_WERROR=ON "$@"
+  cmake -B "$build_dir" -S "$ROOT" -DEXPLAINTI_WERROR=ON \
+    -DEXPLAINTI_CCACHE="${EXPLAINTI_CCACHE:-OFF}" "$@"
   cmake --build "$build_dir" -j "$JOBS"
+}
+
+report_ccache() {
+  if [ "${EXPLAINTI_CCACHE:-OFF}" = "ON" ] && command -v ccache >/dev/null; then
+    echo "ccache statistics:"
+    ccache -s
+  fi
 }
 
 case "$JOB" in
   release)
     BUILD="$ROOT/build-ci-release"
     configure_and_build "$BUILD" -DCMAKE_BUILD_TYPE=Release
-    (cd "$BUILD" && ctest --output-on-failure -j "$JOBS")
+    (cd "$BUILD" && ctest --output-on-failure --timeout "$CTEST_TIMEOUT" \
+       -j "$JOBS")
     # Scaling benchmark doubles as a determinism gate (checksums must
     # match across 1/2/4 threads); keep its JSON as a CI artifact.
     (cd "$BUILD" && ./bench/bench_parallel_scaling)
     echo "BENCH_parallel.json:"
     cat "$BUILD/BENCH_parallel.json"
     # Serving benchmark: tape vs no-grad per-call latency and allocation
-    # counts. It hard-fails if the paths' probabilities are not
-    # bit-identical or a warmed-up no-grad Predict misses the arena.
+    # counts, plus the compiled-plan-vs-graph-walk matrix. It hard-fails
+    # if any pair of paths' outputs are not bit-identical or a warmed-up
+    # fast path misses the arena.
     (cd "$BUILD" && ./bench/bench_inference_session)
     echo "BENCH_inference.json:"
     cat "$BUILD/BENCH_inference.json"
+    # Bench-regression gate: the compiled-plan path must not fall behind
+    # the graph walk (p50 within tolerance, never more allocations) and
+    # the raw plan executor must stay allocation-free after warm-up.
+    python3 "$ROOT/ci/check_bench.py" "$BUILD/BENCH_inference.json"
     # Serving benchmark: open-loop Poisson load against the
     # micro-batching InferenceServer vs the sequential baseline. On
     # >=4-thread hosts it hard-fails unless batched throughput beats
     # sequential by 1.5x at the highest offered load; everywhere it
-    # hard-fails if the queue ever exceeded its bound. The release
-    # artifacts are incomplete without the JSON, so its absence fails
-    # the job.
+    # hard-fails if the queue ever exceeded its bound.
     (cd "$BUILD" && ./bench/bench_online_simulation)
-    test -f "$BUILD/BENCH_serving.json" || {
-      echo "BENCH_serving.json missing from release artifacts" >&2
-      exit 1
-    }
     echo "BENCH_serving.json:"
     cat "$BUILD/BENCH_serving.json"
+    # Consolidate every benchmark JSON into one artifact bundle. The
+    # release artifacts are incomplete without all of them, so a missing
+    # file fails the job rather than silently uploading a partial set.
+    BUNDLE="$BUILD/bench-artifacts"
+    rm -rf "$BUNDLE"
+    mkdir -p "$BUNDLE"
+    for bench_json in BENCH_parallel.json BENCH_inference.json \
+                      BENCH_serving.json; do
+      if [ ! -f "$BUILD/$bench_json" ]; then
+        echo "$bench_json missing from release artifacts" >&2
+        exit 1
+      fi
+      cp "$BUILD/$bench_json" "$BUNDLE/"
+    done
+    echo "bench-artifacts bundle:"
+    ls -l "$BUNDLE"
     ;;
   asan-ubsan)
     BUILD="$ROOT/build-ci-asan"
@@ -65,7 +97,8 @@ case "$JOB" in
     (cd "$BUILD" && \
      ASAN_OPTIONS=halt_on_error=1:detect_leaks=1 \
      UBSAN_OPTIONS=halt_on_error=1:print_stacktrace=1 \
-     ctest -L 'tier1|chaos' --output-on-failure -j "$JOBS")
+     ctest -L 'tier1|chaos' --output-on-failure --timeout "$CTEST_TIMEOUT" \
+       -j "$JOBS")
     ;;
   tsan)
     BUILD="$ROOT/build-ci-tsan"
@@ -74,7 +107,8 @@ case "$JOB" in
     (cd "$BUILD" && \
      EXPLAINTI_NUM_THREADS=4 \
      TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
-     ctest -L tier1 --output-on-failure -j "$JOBS")
+     ctest -L tier1 --output-on-failure --timeout "$CTEST_TIMEOUT" \
+       -j "$JOBS")
     ;;
   *)
     echo "unknown CI job: $JOB (expected release, asan-ubsan, or tsan)" >&2
@@ -82,4 +116,5 @@ case "$JOB" in
     ;;
 esac
 
+report_ccache
 echo "ci job '$JOB' passed"

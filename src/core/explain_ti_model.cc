@@ -177,11 +177,9 @@ std::vector<tensor::Tensor> ExplainTiModel::AllParameters() const {
 // Forward
 // ---------------------------------------------------------------------------
 
-ExplainTiModel::Forward ExplainTiModel::RunForward(TaskKind kind,
-                                                   int sample_id,
-                                                   const nn::ExecContext& ctx,
-                                                   bool with_local,
-                                                   bool with_global) const {
+ExplainTiModel::Forward ExplainTiModel::RunForward(
+    TaskKind kind, int sample_id, const nn::ExecContext& ctx, bool with_local,
+    bool with_global, const tensor::Tensor* precomputed_embeddings) const {
   CHECK(ctx.rng != nullptr) << "RunForward requires an RNG (dropout and SE "
                                "neighbour sampling draw from it)";
   util::Rng& rng = *ctx.rng;
@@ -197,8 +195,13 @@ ExplainTiModel::Forward ExplainTiModel::RunForward(TaskKind kind,
   const EmbeddingStore::View store = Store(kind).view();
 
   Forward fwd;
+  // The compiled-plan path hands the encoder output in precomputed form
+  // (bit-identical to the encoder call by the plan contract); everything
+  // downstream is shared between the two paths.
   fwd.embeddings =
-      encoder_->Forward(sample.seq.ids, sample.seq.segments, ctx);
+      precomputed_embeddings != nullptr
+          ? *precomputed_embeddings
+          : encoder_->Forward(sample.seq.ids, sample.seq.segments, ctx);
   fwd.cls = tensor::Row(fwd.embeddings, 0);
   const int len = static_cast<int>(sample.seq.ids.size());
 

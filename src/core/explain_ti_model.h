@@ -161,14 +161,21 @@ class ExplainTiModel {
   /// with the configured explanation modules; the explicit form lets
   /// Predict() skip LE/GE (they never change the final logits) without
   /// mutating shared state, which keeps concurrent Evaluate() calls
-  /// race-free.
+  /// race-free. `precomputed_embeddings`, when non-null, replaces the
+  /// encoder call with an already-computed E [L, d] (the compiled-plan
+  /// path hands the encoder output here and this method runs the
+  /// SE/LE/GE/head tail exactly as before — in particular the se_ready
+  /// decision stays in one place, so plan and graph calls can never
+  /// disagree about which head ran).
   Forward RunForward(TaskKind kind, int sample_id,
                      const nn::ExecContext& ctx) const {
     return RunForward(kind, sample_id, ctx, config_.use_local,
                       config_.use_global);
   }
   Forward RunForward(TaskKind kind, int sample_id, const nn::ExecContext& ctx,
-                     bool with_local, bool with_global) const;
+                     bool with_local, bool with_global,
+                     const tensor::Tensor* precomputed_embeddings =
+                         nullptr) const;
 
   /// Assembles the public Explanation record from a full Forward.
   Explanation MakeExplanation(TaskKind kind, Forward fwd) const;

@@ -29,6 +29,10 @@ class MultiHeadSelfAttention : public Module {
                          bool training, util::Rng& rng) const;
 
  private:
+  // Reads the projection weights when lowering the frozen eval graph into
+  // a compiled inference plan (nn/lowering.cc).
+  friend struct LoweringAccess;
+
   TransformerConfig config_;
   Linear wq_;
   Linear wk_;

@@ -29,6 +29,10 @@ class TransformerEmbeddings : public Module {
                          util::Rng& rng) const;
 
  private:
+  // Reads the tables/LN weights when lowering the frozen eval graph into
+  // a compiled inference plan (nn/lowering.cc).
+  friend struct LoweringAccess;
+
   TransformerConfig config_;
   tensor::Tensor token_table_;
   tensor::Tensor position_table_;

@@ -29,6 +29,10 @@ class EncoderLayer : public Module {
                          bool training, util::Rng& rng) const;
 
  private:
+  // Reads the sublayer weights when lowering the frozen eval graph into a
+  // compiled inference plan (nn/lowering.cc).
+  friend struct LoweringAccess;
+
   TransformerConfig config_;
   MultiHeadSelfAttention attention_;
   Linear ffn_in_;
@@ -63,6 +67,10 @@ class TransformerEncoder : public Module {
   const TransformerConfig& config() const { return config_; }
 
  private:
+  // Walks the layer stack when lowering the frozen eval graph into a
+  // compiled inference plan (nn/lowering.cc).
+  friend struct LoweringAccess;
+
   TransformerConfig config_;
   TransformerEmbeddings embeddings_;
   std::vector<std::unique_ptr<EncoderLayer>> layers_;

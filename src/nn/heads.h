@@ -30,6 +30,10 @@ class ClassifierHead : public Module {
 
   int64_t num_labels() const { return projection_.out_features(); }
 
+  /// The underlying affine map — read by plan lowering (the head is one
+  /// Linear, so serving can fold it into the compiled instruction stream).
+  const Linear& projection() const { return projection_; }
+
  private:
   Linear projection_;
 };

@@ -367,6 +367,18 @@ void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
   batch.resize(keep);
   if (batch.empty()) return;
 
+  if (metrics != nullptr) {
+    // Which execution path answered: compiled inference plans or the
+    // graph-walk fallback. A generation that unexpectedly serves
+    // graph_batches is the alert that plan compilation failed at swap
+    // time (the swap still succeeds — this is a perf regression signal,
+    // not an error).
+    metrics
+        ->GetCounter(session.plans_enabled() ? "serve.plan_batches"
+                                             : "serve.graph_batches")
+        ->Increment();
+  }
+
   const int64_t dispatch_us = util::MonotonicNowUs();
 
   std::vector<int> ids;

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <cmath>
 
+#include "tensor/plan_kernels.h"
 #include "tensor/workspace.h"
 #include "util/logging.h"
 #include "util/thread_pool.h"
@@ -257,86 +258,18 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   // rounded, so the bits match the tape kernel exactly (for finite
   // operands; 0-coefficient terms are added as signed zeros instead of
   // skipped, which cannot change an accumulator that is never -0.0).
-  // Unrolling over k amortises the accumulator-row loads/stores, and
-  // pairing two output rows reuses each b row for two accumulators; with
-  // the j loop vectorized (see this file's COMPILE_OPTIONS in
-  // CMakeLists.txt) the combination is ~3x over the naive loop on the
-  // encoder's GEMM shapes. The tape path keeps the zero-skip kernel whose
-  // structure mirrors the backward pass and profits from sparse inputs.
+  // The kernel lives in plan_kernels.cc — ONE compiled copy shared with
+  // the compiled-inference-plan executor, so the plan path and this graph
+  // walk cannot drift by even a bit. The tape path keeps the zero-skip
+  // kernel whose structure mirrors the backward pass and profits from
+  // sparse inputs.
   const bool serving = InferenceModeActive();
-  if (m > 1) {
+  if (serving) {
+    ServingGemm(pa, /*lda=*/k, pb, /*ldb=*/n, /*trans_b=*/false, pc,
+                /*ldc=*/n, m, k, n);
+  } else if (m > 1) {
     util::ParallelFor(0, m, util::GrainForCost(k * n),
                       [&](int64_t ib, int64_t ie) {
-      if (serving) {
-        int64_t i = ib;
-        for (; i + 2 <= ie; i += 2) {
-          const float* EXPLAINTI_RESTRICT a0r = pa + i * k;
-          const float* EXPLAINTI_RESTRICT a1r = a0r + k;
-          float* EXPLAINTI_RESTRICT c0 = pc + i * n;
-          float* EXPLAINTI_RESTRICT c1 = c0 + n;
-          int64_t kk = 0;
-          for (; kk + 4 <= k; kk += 4) {
-            const float x0 = a0r[kk], x1 = a0r[kk + 1];
-            const float x2 = a0r[kk + 2], x3 = a0r[kk + 3];
-            const float y0 = a1r[kk], y1 = a1r[kk + 1];
-            const float y2 = a1r[kk + 2], y3 = a1r[kk + 3];
-            const float* EXPLAINTI_RESTRICT b0 = pb + kk * n;
-            const float* EXPLAINTI_RESTRICT b1 = b0 + n;
-            const float* EXPLAINTI_RESTRICT b2 = b1 + n;
-            const float* EXPLAINTI_RESTRICT b3 = b2 + n;
-            for (int64_t j = 0; j < n; ++j) {
-              const float v0 = b0[j], v1 = b1[j], v2 = b2[j], v3 = b3[j];
-              float acc0 = c0[j];
-              acc0 += x0 * v0;
-              acc0 += x1 * v1;
-              acc0 += x2 * v2;
-              acc0 += x3 * v3;
-              c0[j] = acc0;
-              float acc1 = c1[j];
-              acc1 += y0 * v0;
-              acc1 += y1 * v1;
-              acc1 += y2 * v2;
-              acc1 += y3 * v3;
-              c1[j] = acc1;
-            }
-          }
-          for (; kk < k; ++kk) {
-            const float x = a0r[kk], y = a1r[kk];
-            const float* EXPLAINTI_RESTRICT brow = pb + kk * n;
-            for (int64_t j = 0; j < n; ++j) {
-              c0[j] += x * brow[j];
-              c1[j] += y * brow[j];
-            }
-          }
-        }
-        for (; i < ie; ++i) {
-          const float* EXPLAINTI_RESTRICT arow = pa + i * k;
-          float* EXPLAINTI_RESTRICT crow = pc + i * n;
-          int64_t kk = 0;
-          for (; kk + 4 <= k; kk += 4) {
-            const float a0 = arow[kk], a1 = arow[kk + 1];
-            const float a2 = arow[kk + 2], a3 = arow[kk + 3];
-            const float* EXPLAINTI_RESTRICT b0 = pb + kk * n;
-            const float* EXPLAINTI_RESTRICT b1 = b0 + n;
-            const float* EXPLAINTI_RESTRICT b2 = b1 + n;
-            const float* EXPLAINTI_RESTRICT b3 = b2 + n;
-            for (int64_t j = 0; j < n; ++j) {
-              float acc = crow[j];
-              acc += a0 * b0[j];
-              acc += a1 * b1[j];
-              acc += a2 * b2[j];
-              acc += a3 * b3[j];
-              crow[j] = acc;
-            }
-          }
-          for (; kk < k; ++kk) {
-            const float av = arow[kk];
-            const float* EXPLAINTI_RESTRICT brow = pb + kk * n;
-            for (int64_t j = 0; j < n; ++j) crow[j] += av * brow[j];
-          }
-        }
-        return;
-      }
       for (int64_t i = ib; i < ie; ++i) {
         for (int64_t kk = 0; kk < k; ++kk) {
           const float av = pa[i * k + kk];
@@ -350,31 +283,6 @@ Tensor MatMul(const Tensor& a, const Tensor& b) {
   } else {
     util::ParallelFor(0, n, util::GrainForCost(k),
                       [&](int64_t jb, int64_t je) {
-      if (serving) {
-        int64_t kk = 0;
-        for (; kk + 4 <= k; kk += 4) {
-          const float a0 = pa[kk], a1 = pa[kk + 1];
-          const float a2 = pa[kk + 2], a3 = pa[kk + 3];
-          const float* EXPLAINTI_RESTRICT b0 = pb + kk * n;
-          const float* EXPLAINTI_RESTRICT b1 = b0 + n;
-          const float* EXPLAINTI_RESTRICT b2 = b1 + n;
-          const float* EXPLAINTI_RESTRICT b3 = b2 + n;
-          for (int64_t j = jb; j < je; ++j) {
-            float acc = pc[j];
-            acc += a0 * b0[j];
-            acc += a1 * b1[j];
-            acc += a2 * b2[j];
-            acc += a3 * b3[j];
-            pc[j] = acc;
-          }
-        }
-        for (; kk < k; ++kk) {
-          const float av = pa[kk];
-          const float* EXPLAINTI_RESTRICT brow = pb + kk * n;
-          for (int64_t j = jb; j < je; ++j) pc[j] += av * brow[j];
-        }
-        return;
-      }
       for (int64_t kk = 0; kk < k; ++kk) {
         const float av = pa[kk];
         if (av == 0.0f) continue;

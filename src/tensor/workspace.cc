@@ -169,6 +169,15 @@ bool InferenceModeActive() { return tls_inference_mode; }
 
 WorkspaceStats ThisThreadWorkspaceStats() { return ThisWorkspace().stats; }
 
+ScratchBuffer::ScratchBuffer(size_t n) : buf_(ThisWorkspace().AcquireBuffer(n)) {
+  // A shrinking resize writes nothing; a growing one value-fills only the
+  // tail beyond the pooled vector's previous size. Steady state (same
+  // plan, warmed pool) is a same-size no-op.
+  buf_.resize(n);
+}
+
+ScratchBuffer::~ScratchBuffer() { ThisWorkspace().ReleaseBuffer(std::move(buf_)); }
+
 namespace internal {
 
 std::shared_ptr<Node> AllocNode(Shape shape, bool zero_init) {

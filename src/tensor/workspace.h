@@ -1,8 +1,10 @@
 #ifndef EXPLAINTI_TENSOR_WORKSPACE_H_
 #define EXPLAINTI_TENSOR_WORKSPACE_H_
 
+#include <cstddef>
 #include <cstdint>
 #include <memory>
+#include <vector>
 
 #include "tensor/tensor.h"
 
@@ -46,6 +48,27 @@ struct WorkspaceStats {
 
 /// Snapshot of the calling thread's arena counters.
 WorkspaceStats ThisThreadWorkspaceStats();
+
+/// RAII raw float scratch drawn from the calling thread's Workspace
+/// buffer pool: the compiled-inference-plan executor acquires its whole
+/// arena as one ScratchBuffer per call, so a warmed-up plan run performs
+/// zero heap allocations. Contents are uninitialised (beyond what the
+/// pooled vector happened to hold); the buffer returns to the pool on
+/// destruction. Must be destroyed on the thread that created it (stack
+/// use only).
+class ScratchBuffer {
+ public:
+  explicit ScratchBuffer(size_t n);
+  ~ScratchBuffer();
+  ScratchBuffer(const ScratchBuffer&) = delete;
+  ScratchBuffer& operator=(const ScratchBuffer&) = delete;
+
+  float* data() { return buf_.data(); }
+  size_t size() const { return buf_.size(); }
+
+ private:
+  std::vector<float> buf_;
+};
 
 namespace internal {
 
