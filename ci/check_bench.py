@@ -1,9 +1,21 @@
 #!/usr/bin/env python3
-"""Bench-regression gate over BENCH_inference.json.
+"""Bench-regression gate over BENCH_inference.json / BENCH_store.json.
 
-Reads the "plan_vs_graph" object bench_inference_session emits and fails
-the job (exit 1) if the compiled-plan serving path has regressed behind
-the graph walk:
+Dispatches on content. A file with a "store" array (BENCH_store.json,
+from bench_embedding_store) is gated on:
+
+  * recall_at_10 >= the file's own recall_floor in every row — the
+    segmented HNSW must stay an accurate index, not just a fast one;
+  * roundtrip_identical is true everywhere: a persisted store reloaded
+    from disk answered every probe bit-identically;
+  * steady_state_allocations == 0 exactly: the warm serial search path
+    must not touch the heap;
+  * multi-shard incremental rebuilds re-encode only dirty segments
+    (segments_built < shards when shards > 1).
+
+A file with a "plan_vs_graph" object (BENCH_inference.json) is gated as
+before — fails the job (exit 1) if the compiled-plan serving path has
+regressed behind the graph walk:
 
   * plan p50 must not exceed graph p50 by more than --max-ratio for any
     (method, batch_size) cell. Both paths are bound by the same shared
@@ -21,6 +33,7 @@ the graph walk:
 
 Stdlib only; CI calls it as
   python3 ci/check_bench.py <build_dir>/BENCH_inference.json
+  python3 ci/check_bench.py <build_dir>/BENCH_store.json
 """
 
 import argparse
@@ -30,6 +43,58 @@ import sys
 
 def fmt_us(v):
     return f"{v:9.1f}"
+
+
+def check_store(bench):
+    """Gates the BENCH_store.json 'store' array; returns 0/1."""
+    rows = bench.get("store")
+    if not isinstance(rows, list) or not rows:
+        print("check_bench: 'store' array is empty", file=sys.stderr)
+        return 1
+    floor = bench.get("recall_floor")
+    if not isinstance(floor, (int, float)):
+        print("check_bench: BENCH_store.json has no 'recall_floor'",
+              file=sys.stderr)
+        return 1
+
+    failures = []
+    print(f"{'corpus':>8s} {'shards':>6s} {'build ms':>9s} {'incr ms':>8s} "
+          f"{'built':>5s} {'reused':>6s} {'p50 us':>8s} {'p99 us':>8s} "
+          f"{'recall@10':>9s} {'allocs':>6s}")
+    for row in rows:
+        name = f"corpus={row['corpus']}/shards={row['shards']}"
+        print(f"{row['corpus']:8d} {row['shards']:6d} "
+              f"{row['build_ms']:9.1f} {row['incremental_rebuild_ms']:8.1f} "
+              f"{row['segments_built']:5d} {row['segments_reused']:6d} "
+              f"{row['search_p50_us']:8.1f} {row['search_p99_us']:8.1f} "
+              f"{row['recall_at_10']:9.3f} "
+              f"{row['steady_state_allocations']:6d}")
+        if row["recall_at_10"] < floor:
+            failures.append(
+                f"{name}: recall@10 {row['recall_at_10']:.3f} below the "
+                f"floor {floor}")
+        if row["roundtrip_identical"] is not True:
+            failures.append(
+                f"{name}: save->load roundtrip was not bit-identical")
+        if row["steady_state_allocations"] != 0:
+            failures.append(
+                f"{name}: steady-state serial search performed "
+                f"{row['steady_state_allocations']} allocations "
+                f"(must be exactly 0)")
+        if row["shards"] > 1 and row["segments_built"] >= row["shards"]:
+            failures.append(
+                f"{name}: incremental rebuild re-encoded "
+                f"{row['segments_built']} of {row['shards']} segments — "
+                f"copy-on-write reuse is not happening")
+
+    if failures:
+        print("\ncheck_bench: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ncheck_bench: OK — store recall, roundtrip identity, "
+          "zero-allocation steady state, and copy-on-write all hold")
+    return 0
 
 
 def main():
@@ -51,6 +116,9 @@ def main():
         print(f"check_bench: cannot read {args.bench_json}: {err}",
               file=sys.stderr)
         return 1
+
+    if "store" in bench:
+        return check_store(bench)
 
     matrix = bench.get("plan_vs_graph")
     if not isinstance(matrix, dict):

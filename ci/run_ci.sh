@@ -65,6 +65,15 @@ case "$JOB" in
     # the graph walk (p50 within tolerance, never more allocations) and
     # the raw plan executor must stay allocation-free after warm-up.
     python3 "$ROOT/ci/check_bench.py" "$BUILD/BENCH_inference.json"
+    # Embedding-store benchmark: sharded search, copy-on-write rebuilds,
+    # and the persisted-store roundtrip (which hard-fails inside the
+    # binary if a reloaded store is not bit-identical). check_bench.py
+    # re-gates recall@10, roundtrip identity, the zero-allocation steady
+    # state, and dirty-segment-only incremental rebuilds.
+    (cd "$BUILD" && ./bench/bench_embedding_store)
+    echo "BENCH_store.json:"
+    cat "$BUILD/BENCH_store.json"
+    python3 "$ROOT/ci/check_bench.py" "$BUILD/BENCH_store.json"
     # Serving benchmark: open-loop Poisson load against the
     # micro-batching InferenceServer vs the sequential baseline. On
     # >=4-thread hosts it hard-fails unless batched throughput beats
@@ -80,7 +89,7 @@ case "$JOB" in
     rm -rf "$BUNDLE"
     mkdir -p "$BUNDLE"
     for bench_json in BENCH_parallel.json BENCH_inference.json \
-                      BENCH_serving.json; do
+                      BENCH_store.json BENCH_serving.json; do
       if [ ! -f "$BUILD/$bench_json" ]; then
         echo "$bench_json missing from release artifacts" >&2
         exit 1

@@ -4,6 +4,7 @@
 #include <cstring>
 #include <fstream>
 
+#include "util/binary_io.h"
 #include "util/crc32.h"
 #include "util/fault_injection.h"
 #include "util/logging.h"
@@ -15,49 +16,16 @@ namespace {
 constexpr char kMagic[] = "XTICKPT1";
 constexpr uint32_t kVersion = 1;
 
+// The framing helpers (append PODs, bounds-checked reads) live in
+// util/binary_io.h, shared with the embedding-store segment/manifest
+// formats.
+using util::AppendFloats;
+using util::BinaryReader;
+
 template <typename T>
 void Append(std::string* buffer, T value) {
-  buffer->append(reinterpret_cast<const char*>(&value), sizeof(value));
+  util::AppendPod(buffer, value);
 }
-
-void AppendFloats(std::string* buffer, const std::vector<float>& values) {
-  buffer->append(reinterpret_cast<const char*>(values.data()),
-                 values.size() * sizeof(float));
-}
-
-/// Bounds-checked cursor over the loaded file image; every read returns
-/// false on overrun so truncation can never walk off the buffer.
-class Reader {
- public:
-  Reader(const char* data, size_t size) : data_(data), size_(size) {}
-
-  template <typename T>
-  bool Read(T* out) {
-    if (pos_ + sizeof(T) > size_) return false;
-    std::memcpy(out, data_ + pos_, sizeof(T));
-    pos_ += sizeof(T);
-    return true;
-  }
-
-  bool ReadFloats(std::vector<float>* out, int64_t count) {
-    if (count < 0 ||
-        pos_ + static_cast<size_t>(count) * sizeof(float) > size_) {
-      return false;
-    }
-    out->resize(static_cast<size_t>(count));
-    std::memcpy(out->data(), data_ + pos_,
-                static_cast<size_t>(count) * sizeof(float));
-    pos_ += static_cast<size_t>(count) * sizeof(float);
-    return true;
-  }
-
-  bool AtEnd() const { return pos_ == size_; }
-
- private:
-  const char* data_;
-  size_t size_;
-  size_t pos_ = 0;
-};
 
 }  // namespace
 
@@ -164,7 +132,7 @@ util::StatusOr<Checkpoint> LoadCheckpoint(const std::string& path) {
         "checkpoint CRC mismatch (corrupted or truncated): " + path);
   }
 
-  Reader reader(image.data() + 8, image.size() - 8 - sizeof(uint32_t));
+  BinaryReader reader(image.data() + 8, image.size() - 8 - sizeof(uint32_t));
   uint32_t version = 0;
   Checkpoint ckpt;
   int64_t num_params = 0;

@@ -44,6 +44,17 @@ struct ExplainTiConfig {
   int pretrain_epochs = 2;
   float pretrain_learning_rate = 1e-3f;
 
+  // -- Embedding store (see DESIGN.md "Sharded embedding store") ----------
+  /// Id-range segments per embedding store (>= 1). More segments shard the
+  /// ANN search across the thread pool and make rebuilds copy-on-write at
+  /// segment granularity (only dirty id-ranges re-index).
+  int store_segments = 1;
+  /// When non-empty, LoadWeights() prefers reopening the persisted stores
+  /// under this directory (mmap-backed; written by SaveStores()) over
+  /// re-encoding the corpus. Missing or corrupt store files log a warning
+  /// and fall back to the in-memory rebuild.
+  std::string store_dir;
+
   // -- Robustness (see DESIGN.md "Failure model & recovery") --------------
   /// Consecutive non-finite (skipped) optimiser steps tolerated before
   /// Fit() rolls the parameters back to the last-known-good snapshot and

@@ -61,9 +61,21 @@ std::string WindowText(const std::vector<std::string>& tokens, int start,
 
 }  // namespace
 
+namespace {
+
+EmbeddingStore::Options StoreOptionsFor(const ExplainTiConfig& config) {
+  EmbeddingStore::Options options;
+  options.num_segments = std::max(1, config.store_segments);
+  return options;
+}
+
+}  // namespace
+
 ExplainTiModel::ExplainTiModel(const ExplainTiConfig& config,
                                const data::TableCorpus& corpus)
-    : config_(config) {
+    : config_(config),
+      type_store_(StoreOptionsFor(config)),
+      relation_store_(StoreOptionsFor(config)) {
   // -- Vocabulary from the training tables only (no test leakage). -------
   std::unordered_map<std::string, int64_t> counts;
   auto count_text = [&counts](const std::string& text) {
@@ -243,7 +255,8 @@ ExplainTiModel::Forward ExplainTiModel::RunForward(
       const int64_t d = fwd.cls.size();
       std::vector<float> nbr_data(static_cast<size_t>(r) * d);
       for (int j = 0; j < r; ++j) {
-        const std::vector<float>& e = store.Embedding(usable[j].sample_id);
+        const EmbeddingStore::EmbeddingRef e =
+            store.Embedding(usable[j].sample_id);
         std::copy(e.begin(), e.end(),
                   nbr_data.begin() + static_cast<int64_t>(j) * d);
       }
@@ -300,7 +313,7 @@ ExplainTiModel::Forward ExplainTiModel::RunForward(
       std::vector<float> raw(static_cast<size_t>(k) * d);
       std::vector<float> normalized(static_cast<size_t>(k) * d);
       for (int j = 0; j < k; ++j) {
-        const std::vector<float>& e =
+        const EmbeddingStore::EmbeddingRef e =
             store.Embedding(static_cast<int>(hits[static_cast<size_t>(j)].id));
         double norm_sq = 0.0;
         for (float v : e) norm_sq += static_cast<double>(v) * v;
@@ -507,6 +520,59 @@ void ExplainTiModel::RefreshStores() {
   if (!config_.use_global && !config_.use_structural) return;
   RebuildStore(TaskKind::kType);
   if (relation_task_.has_value()) RebuildStore(TaskKind::kRelation);
+}
+
+util::Status ExplainTiModel::SaveStores(const std::string& dir) const {
+  if (util::Status s = type_store_.Save(dir + "/type"); !s.ok()) return s;
+  if (relation_task_.has_value()) {
+    return relation_store_.Save(dir + "/relation");
+  }
+  return util::Status::OK();
+}
+
+util::Status ExplainTiModel::LoadStores(const std::string& dir) {
+  const int64_t d = encoder_->config().d_model;
+  const auto load_one = [&](TaskKind kind, EmbeddingStore& store,
+                            const std::string& sub) -> util::Status {
+    if (util::Status s = store.Load(dir + "/" + sub); !s.ok()) return s;
+    const EmbeddingStore::View view = store.view();
+    if (view.dim() != d) {
+      return util::Status::InvalidArgument(
+          "persisted " + sub + " store dim " + std::to_string(view.dim()) +
+          " != model d_model " + std::to_string(d));
+    }
+    const int64_t num_samples =
+        static_cast<int64_t>(Task(kind).samples.size());
+    if (view.max_id() >= num_samples) {
+      return util::Status::InvalidArgument(
+          "persisted " + sub + " store id " + std::to_string(view.max_id()) +
+          " beyond this corpus (" + std::to_string(num_samples) +
+          " samples)");
+    }
+    return util::Status::OK();
+  };
+  if (util::Status s = load_one(TaskKind::kType, type_store_, "type");
+      !s.ok()) {
+    return s;
+  }
+  if (relation_task_.has_value()) {
+    return load_one(TaskKind::kRelation, relation_store_, "relation");
+  }
+  return util::Status::OK();
+}
+
+void ExplainTiModel::RestoreStores() {
+  if (!config_.use_global && !config_.use_structural) return;
+  if (!config_.store_dir.empty()) {
+    if (util::Status s = LoadStores(config_.store_dir); s.ok()) {
+      LOG(INFO) << "embedding stores reopened from " << config_.store_dir;
+      return;
+    } else {
+      LOG(WARNING) << "persisted embedding stores unusable ("
+                   << s.ToString() << "); re-encoding the corpus in memory";
+    }
+  }
+  RefreshStores();
 }
 
 // ---------------------------------------------------------------------------
@@ -907,7 +973,7 @@ util::Status ExplainTiModel::LoadWeights(const std::string& path) {
   for (size_t i = 0; i < params.size(); ++i) {
     std::copy(staged[i].begin(), staged[i].end(), params[i].data());
   }
-  RefreshStores();
+  RestoreStores();
   return util::Status::OK();
 }
 

@@ -104,6 +104,19 @@ class ExplainTiModel {
   /// (Fit, LoadWeights) remain excluded from concurrent session use.
   void RefreshStores();
 
+  /// Persists every active task's embedding store under `dir` (one
+  /// subdirectory per task: type/, relation/) in the segmented
+  /// CRC32-footed format of store_persistence.h. Requires non-empty
+  /// stores (call RefreshStores()/Fit() first).
+  util::Status SaveStores(const std::string& dir) const;
+
+  /// Reopens stores written by SaveStores() (segments load via mmap) and
+  /// publishes them as the current store snapshots — no corpus
+  /// re-encoding. Fails with a typed error on missing/corrupt files or a
+  /// geometry mismatch with this model (wrong dim, ids beyond the task's
+  /// samples); on failure the stores keep their previous snapshots.
+  util::Status LoadStores(const std::string& dir);
+
   const TaskData& task_data(TaskKind kind) const;
   const ExplainTiConfig& config() const { return config_; }
   const text::Vocab& vocab() const { return *vocab_; }
@@ -186,6 +199,11 @@ class ExplainTiModel {
 
   /// Re-encodes all training samples of `kind` and rebuilds its store.
   void RebuildStore(TaskKind kind);
+
+  /// LoadWeights' store step: reopen persisted stores from
+  /// `config_.store_dir` when set and loadable, otherwise fall back to
+  /// RefreshStores() (the in-memory re-encode).
+  void RestoreStores();
 
   /// Decodes predicted label ids from final logits.
   std::vector<int> DecodeLabels(TaskKind kind,

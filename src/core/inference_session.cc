@@ -367,13 +367,15 @@ util::StatusOr<std::unique_ptr<ExplainTiModel>> LoadReplicaForSwap(
     return fault;
   }
   auto replica = std::make_unique<ExplainTiModel>(config, corpus);
+  // LoadWeights warms the GE/SE stores itself: it reopens the persisted
+  // segmented stores from config.store_dir when set (mmap, no corpus
+  // re-encode) and re-encodes in memory otherwise — so the first
+  // post-swap Explain is never a cold start. No extra RefreshStores here;
+  // the old double re-encode is gone.
   if (util::Status loaded = replica->LoadWeights(weights_path);
       !loaded.ok()) {
     return loaded;
   }
-  // Warm the GE/SE stores so the first post-swap Explain is not a cold
-  // start (and so explanations are available at all).
-  replica->RefreshStores();
   return replica;
 }
 

@@ -1,0 +1,312 @@
+#include "core/store_persistence.h"
+
+#include <sys/stat.h>
+
+#include <cerrno>
+#include <cstdio>
+#include <cstring>
+#include <fstream>
+
+#include "util/binary_io.h"
+#include "util/crc32.h"
+#include "util/fault_injection.h"
+#include "util/logging.h"
+#include "util/mmap_file.h"
+
+namespace explainti::core {
+
+namespace {
+
+constexpr char kSegmentMagic[] = "XTISEG01";
+constexpr char kManifestMagic[] = "XTIMAN01";
+constexpr uint32_t kVersion = 1;
+constexpr size_t kSegmentHeaderBytes = 64;
+constexpr uint32_t kFlagHnswReady = 1u;
+
+/// Appends `buffer` to `path` atomically: full image to a tmp file, then
+/// rename. The "store.save" fault fires mid-write, leaving a torn tmp
+/// that is removed before reporting — `path` itself is never torn.
+util::Status AtomicWrite(const std::string& path, const std::string& buffer) {
+  const std::string tmp = path + ".tmp";
+  {
+    std::ofstream out(tmp, std::ios::binary | std::ios::trunc);
+    if (!out) return util::Status::IoError("cannot open " + tmp);
+    const size_t half = buffer.size() / 2;
+    out.write(buffer.data(), static_cast<std::streamsize>(half));
+    util::Status fault = FAULT_POINT("store.save");
+    if (fault.ok()) {
+      out.write(buffer.data() + half,
+                static_cast<std::streamsize>(buffer.size() - half));
+    }
+    out.flush();
+    if (!fault.ok() || !out) {
+      out.close();
+      std::remove(tmp.c_str());
+      return fault.ok() ? util::Status::IoError("write failed for " + tmp)
+                        : fault;
+    }
+  }
+  if (std::rename(tmp.c_str(), path.c_str()) != 0) {
+    std::remove(tmp.c_str());
+    return util::Status::IoError("cannot rename " + tmp + " to " + path);
+  }
+  return util::Status::OK();
+}
+
+/// Verifies magic + CRC32 footer of a loaded image and returns the byte
+/// range between them (the body a BinaryReader should walk).
+util::Status CheckFraming(const char* data, size_t size, const char* magic,
+                          const std::string& path, const char* what) {
+  if (size < 8 + sizeof(uint32_t) || std::memcmp(data, magic, 8) != 0) {
+    return util::Status::InvalidArgument(std::string("not a ") + what +
+                                         " file: " + path);
+  }
+  uint32_t stored_crc = 0;
+  std::memcpy(&stored_crc, data + size - sizeof(uint32_t), sizeof(uint32_t));
+  const uint32_t actual_crc = util::Crc32(data, size - sizeof(uint32_t));
+  if (stored_crc != actual_crc) {
+    return util::Status::InvalidArgument(
+        std::string(what) + " CRC mismatch (corrupted or truncated): " +
+        path);
+  }
+  return util::Status::OK();
+}
+
+}  // namespace
+
+util::Status EnsureDirectory(const std::string& path) {
+  if (path.empty()) return util::Status::InvalidArgument("empty directory");
+  std::string partial;
+  size_t pos = 0;
+  while (pos <= path.size()) {
+    const size_t next = path.find('/', pos);
+    partial = next == std::string::npos ? path : path.substr(0, next);
+    pos = next == std::string::npos ? path.size() + 1 : next + 1;
+    if (partial.empty()) continue;  // Leading '/'.
+    if (::mkdir(partial.c_str(), 0755) != 0 && errno != EEXIST) {
+      return util::Status::IoError("cannot create directory " + partial +
+                                   ": " + std::strerror(errno));
+    }
+  }
+  return util::Status::OK();
+}
+
+std::string SegmentFileName(int64_t index) {
+  char name[32];
+  std::snprintf(name, sizeof(name), "seg_%06lld.xts",
+                static_cast<long long>(index));
+  return name;
+}
+
+util::Status SaveSegmentFile(const std::string& path,
+                             const EmbeddingStore::Segment& segment) {
+  CHECK_GT(segment.count, 0);
+  std::string buffer;
+  buffer.append(kSegmentMagic, 8);
+  util::AppendPod(&buffer, kVersion);
+  util::AppendPod(&buffer,
+                  segment.hnsw_ready ? kFlagHnswReady : uint32_t{0});
+  util::AppendPod(&buffer, segment.index);
+  util::AppendPod(&buffer, segment.count);
+  util::AppendPod(&buffer, segment.dim);
+  util::AppendPod(&buffer, segment.content_hash);
+  buffer.append(kSegmentHeaderBytes - buffer.size(), '\0');
+
+  const size_t floats = static_cast<size_t>(segment.count * segment.dim);
+  buffer.append(reinterpret_cast<const char*>(segment.ids),
+                static_cast<size_t>(segment.count) * sizeof(int64_t));
+  buffer.append(reinterpret_cast<const char*>(segment.raw),
+                floats * sizeof(float));
+  buffer.append(reinterpret_cast<const char*>(segment.norm),
+                floats * sizeof(float));
+  if (segment.hnsw_ready) {
+    CHECK(segment.hnsw != nullptr);
+    segment.hnsw->SerializeGraph(&buffer);
+  }
+  util::AppendPod(&buffer, util::Crc32(buffer));
+  return AtomicWrite(path, buffer);
+}
+
+util::StatusOr<std::shared_ptr<const EmbeddingStore::Segment>>
+LoadSegmentFile(const std::string& path, const StoreManifest& manifest,
+                const StoreManifest::Entry& entry) {
+  auto file_or = util::MappedFile::Open(path);
+  if (!file_or.ok()) return file_or.status();
+  std::shared_ptr<util::MappedFile> file = std::move(file_or.value());
+  const char* data = file->data();
+  const size_t size = file->size();
+  if (util::Status framing =
+          CheckFraming(data, size, kSegmentMagic, path, "segment");
+      !framing.ok()) {
+    return framing;
+  }
+  const auto malformed = [&path](const std::string& what) {
+    return util::Status::InvalidArgument("malformed segment file " + path +
+                                         ": " + what);
+  };
+  if (size < kSegmentHeaderBytes + sizeof(uint32_t)) {
+    return malformed("short header");
+  }
+
+  util::BinaryReader header(data + 8, kSegmentHeaderBytes - 8);
+  uint32_t version = 0;
+  uint32_t flags = 0;
+  int64_t index = 0;
+  int64_t count = 0;
+  int64_t dim = 0;
+  uint64_t content_hash = 0;
+  if (!header.Read(&version) || !header.Read(&flags) ||
+      !header.Read(&index) || !header.Read(&count) || !header.Read(&dim) ||
+      !header.Read(&content_hash)) {
+    return malformed("truncated header");
+  }
+  if (version != kVersion) return malformed("unsupported version");
+  if (index != entry.index || count != entry.count ||
+      content_hash != entry.content_hash) {
+    return malformed("header disagrees with the manifest entry");
+  }
+  if (dim != manifest.dim) return malformed("dimension mismatch");
+  if (count <= 0 || dim <= 0) return malformed("empty segment");
+
+  // Payload bounds. All offsets are computed in size_t after the header,
+  // which is 64 bytes — so ids start 8-byte aligned and may be read
+  // through typed pointers straight into the mapping.
+  const size_t id_bytes = static_cast<size_t>(count) * sizeof(int64_t);
+  const size_t row_bytes =
+      static_cast<size_t>(count) * static_cast<size_t>(dim) * sizeof(float);
+  const size_t graph_offset = kSegmentHeaderBytes + id_bytes + 2 * row_bytes;
+  if (graph_offset + sizeof(uint32_t) > size) {
+    return malformed("payload overruns the file");
+  }
+
+  auto segment = std::make_shared<EmbeddingStore::Segment>();
+  segment->index = index;
+  segment->count = count;
+  segment->dim = dim;
+  segment->content_hash = content_hash;
+  segment->mapping = file;
+  segment->ids =
+      reinterpret_cast<const int64_t*>(data + kSegmentHeaderBytes);
+  segment->raw = reinterpret_cast<const float*>(data + kSegmentHeaderBytes +
+                                                id_bytes);
+  segment->norm = reinterpret_cast<const float*>(
+      data + kSegmentHeaderBytes + id_bytes + row_bytes);
+
+  // Ids must be strictly ascending and confined to this segment's
+  // id-range: together with the manifest that guarantees global
+  // uniqueness without a cross-segment pass.
+  const int64_t range_begin = index * manifest.span;
+  const int64_t range_end = range_begin + manifest.span;
+  for (int64_t i = 0; i < count; ++i) {
+    const int64_t id = segment->ids[i];
+    if (id < range_begin || id >= range_end ||
+        (i > 0 && id <= segment->ids[i - 1])) {
+      return malformed("ids out of order or outside the segment range");
+    }
+  }
+
+  segment->flat.AttachStorage(segment->ids, segment->norm, count, dim);
+  if ((flags & kFlagHnswReady) != 0) {
+    ann::HnswOptions options = manifest.hnsw;
+    options.seed = ann::SeedForSegment(manifest.hnsw.seed, index);
+    auto hnsw = std::make_unique<ann::HnswIndex>(options);
+    hnsw->AttachStorage(segment->ids, segment->norm, count, dim);
+    util::BinaryReader graph(data + graph_offset,
+                             size - graph_offset - sizeof(uint32_t));
+    if (util::Status s = hnsw->LoadGraph(&graph); !s.ok()) return s;
+    if (!graph.AtEnd()) return malformed("trailing bytes after the graph");
+    segment->hnsw = std::move(hnsw);
+    segment->hnsw_ready = true;
+  } else if (graph_offset + sizeof(uint32_t) != size) {
+    return malformed("trailing bytes in a flat-only segment");
+  }
+  return std::shared_ptr<const EmbeddingStore::Segment>(std::move(segment));
+}
+
+util::Status SaveManifest(const std::string& path,
+                          const StoreManifest& manifest) {
+  std::string buffer;
+  buffer.append(kManifestMagic, 8);
+  util::AppendPod(&buffer, kVersion);
+  util::AppendPod(&buffer, uint32_t{0});  // Reserved.
+  util::AppendPod(&buffer, manifest.dim);
+  util::AppendPod(&buffer, manifest.span);
+  util::AppendPod(&buffer, manifest.count);
+  util::AppendPod(&buffer, static_cast<int64_t>(manifest.entries.size()));
+  util::AppendPod(&buffer, manifest.hnsw.seed);
+  util::AppendPod(&buffer, static_cast<int32_t>(manifest.hnsw.M));
+  util::AppendPod(&buffer,
+                  static_cast<int32_t>(manifest.hnsw.ef_construction));
+  util::AppendPod(&buffer, static_cast<int32_t>(manifest.hnsw.ef_search));
+  util::AppendPod(&buffer, int32_t{0});  // Reserved.
+  for (const StoreManifest::Entry& entry : manifest.entries) {
+    util::AppendPod(&buffer, entry.index);
+    util::AppendPod(&buffer, entry.count);
+    util::AppendPod(&buffer, entry.content_hash);
+  }
+  util::AppendPod(&buffer, util::Crc32(buffer));
+  return AtomicWrite(path, buffer);
+}
+
+util::StatusOr<StoreManifest> LoadManifest(const std::string& path) {
+  auto file_or = util::MappedFile::Open(path);
+  if (!file_or.ok()) return file_or.status();
+  const std::shared_ptr<util::MappedFile>& file = file_or.value();
+  if (util::Status framing = CheckFraming(file->data(), file->size(),
+                                          kManifestMagic, path, "manifest");
+      !framing.ok()) {
+    return framing;
+  }
+  const auto malformed = [&path](const std::string& what) {
+    return util::Status::InvalidArgument("malformed manifest " + path +
+                                         ": " + what);
+  };
+  util::BinaryReader reader(file->data() + 8,
+                            file->size() - 8 - sizeof(uint32_t));
+  uint32_t version = 0;
+  uint32_t reserved32 = 0;
+  StoreManifest manifest;
+  int64_t num_entries = 0;
+  int32_t m = 0;
+  int32_t ef_construction = 0;
+  int32_t ef_search = 0;
+  int32_t reserved = 0;
+  if (!reader.Read(&version) || !reader.Read(&reserved32) ||
+      !reader.Read(&manifest.dim) || !reader.Read(&manifest.span) ||
+      !reader.Read(&manifest.count) || !reader.Read(&num_entries) ||
+      !reader.Read(&manifest.hnsw.seed) || !reader.Read(&m) ||
+      !reader.Read(&ef_construction) || !reader.Read(&ef_search) ||
+      !reader.Read(&reserved)) {
+    return malformed("truncated header");
+  }
+  if (version != kVersion) return malformed("unsupported version");
+  if (manifest.dim <= 0 || manifest.span <= 0 || manifest.count <= 0 ||
+      num_entries <= 0 || m < 2 || ef_construction < m || ef_search < 1) {
+    return malformed("implausible geometry or HNSW options");
+  }
+  manifest.hnsw.M = m;
+  manifest.hnsw.ef_construction = ef_construction;
+  manifest.hnsw.ef_search = ef_search;
+  manifest.entries.resize(static_cast<size_t>(num_entries));
+  int64_t total = 0;
+  int64_t previous_index = -1;
+  for (StoreManifest::Entry& entry : manifest.entries) {
+    if (!reader.Read(&entry.index) || !reader.Read(&entry.count) ||
+        !reader.Read(&entry.content_hash)) {
+      return malformed("truncated entry table");
+    }
+    if (entry.index <= previous_index || entry.count <= 0 ||
+        entry.count > manifest.span) {
+      return malformed("entry table out of order or out of range");
+    }
+    previous_index = entry.index;
+    total += entry.count;
+  }
+  if (total != manifest.count) {
+    return malformed("entry counts do not sum to the store count");
+  }
+  if (!reader.AtEnd()) return malformed("trailing bytes");
+  return manifest;
+}
+
+}  // namespace explainti::core

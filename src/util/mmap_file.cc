@@ -1,0 +1,77 @@
+#include "util/mmap_file.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <cerrno>
+#include <cstdlib>
+#include <cstring>
+
+namespace explainti::util {
+
+namespace {
+
+bool MmapDisabledByEnv() {
+  const char* value = std::getenv("EXPLAINTI_NO_MMAP");
+  return value != nullptr && value[0] == '1' && value[1] == '\0';
+}
+
+}  // namespace
+
+util::StatusOr<std::shared_ptr<MappedFile>> MappedFile::Open(
+    const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY);
+  if (fd < 0) {
+    if (errno == ENOENT) return Status::NotFound("no file at " + path);
+    return Status::IoError("cannot open " + path + ": " +
+                           std::strerror(errno));
+  }
+  struct stat st;
+  if (::fstat(fd, &st) != 0) {
+    ::close(fd);
+    return Status::IoError("cannot stat " + path + ": " +
+                           std::strerror(errno));
+  }
+  auto file = std::shared_ptr<MappedFile>(new MappedFile());
+  file->size_ = static_cast<size_t>(st.st_size);
+  if (file->size_ == 0) {
+    ::close(fd);
+    return file;
+  }
+
+  if (!MmapDisabledByEnv()) {
+    void* base = ::mmap(nullptr, file->size_, PROT_READ, MAP_PRIVATE, fd, 0);
+    if (base != MAP_FAILED) {
+      ::close(fd);  // The mapping keeps the inode alive.
+      file->map_base_ = base;
+      file->data_ = static_cast<const char*>(base);
+      file->mmap_backed_ = true;
+      return file;
+    }
+    // Fall through to the buffered path; e.g. filesystems without mmap.
+  }
+
+  file->fallback_.resize(file->size_);
+  size_t done = 0;
+  while (done < file->size_) {
+    const ssize_t n =
+        ::read(fd, file->fallback_.data() + done, file->size_ - done);
+    if (n < 0 && errno == EINTR) continue;
+    if (n <= 0) {
+      ::close(fd);
+      return Status::IoError("short read on " + path);
+    }
+    done += static_cast<size_t>(n);
+  }
+  ::close(fd);
+  file->data_ = file->fallback_.data();
+  return file;
+}
+
+MappedFile::~MappedFile() {
+  if (map_base_ != nullptr) ::munmap(map_base_, size_);
+}
+
+}  // namespace explainti::util

@@ -1,11 +1,16 @@
 #include <cmath>
+#include <cstring>
+#include <string>
 #include <unordered_set>
 
 #include <gtest/gtest.h>
 
 #include "ann/flat_index.h"
 #include "ann/hnsw_index.h"
+#include "ann/index.h"
+#include "util/binary_io.h"
 #include "util/rng.h"
+#include "util/status.h"
 
 namespace explainti::ann {
 namespace {
@@ -164,6 +169,234 @@ TEST(HnswIndexTest, BuildsMultipleLevels) {
   util::Rng rng(5);
   for (int i = 0; i < 2000; ++i) index.Add(i, RandomVector(8, rng));
   EXPECT_GT(index.max_level(), 0);
+}
+
+// ---------------------------------------------------------------------------
+// Per-segment seed derivation.
+// ---------------------------------------------------------------------------
+
+TEST(SeedForSegmentTest, DeterministicPerPair) {
+  EXPECT_EQ(SeedForSegment(42, 0), SeedForSegment(42, 0));
+  EXPECT_EQ(SeedForSegment(42, 7), SeedForSegment(42, 7));
+}
+
+TEST(SeedForSegmentTest, DecorrelatesSiblingSegments) {
+  // Sibling segments of one store must all get distinct seeds (identical
+  // seeds would give every segment the same level pattern), and no
+  // segment should inherit the base seed verbatim.
+  std::unordered_set<uint64_t> seen;
+  for (int64_t segment = 0; segment < 64; ++segment) {
+    const uint64_t seed = SeedForSegment(42, segment);
+    EXPECT_NE(seed, 42u);
+    EXPECT_TRUE(seen.insert(seed).second) << "collision at " << segment;
+  }
+}
+
+TEST(SeedForSegmentTest, DependsOnBaseSeed) {
+  EXPECT_NE(SeedForSegment(1, 3), SeedForSegment(2, 3));
+}
+
+// ---------------------------------------------------------------------------
+// Attached storage and graph serialisation.
+// ---------------------------------------------------------------------------
+
+/// Normalised row-major payload + ids, the shape a store segment shares
+/// with its index tiers.
+struct AttachedRows {
+  std::vector<int64_t> ids;
+  std::vector<float> norm;
+  int64_t count = 0;
+  int64_t dim = 0;
+};
+
+AttachedRows MakeAttachedRows(int count, int dim, uint64_t seed) {
+  AttachedRows rows;
+  rows.count = count;
+  rows.dim = dim;
+  rows.norm.resize(static_cast<size_t>(count) * dim);
+  util::Rng rng(seed);
+  for (int i = 0; i < count; ++i) {
+    rows.ids.push_back(i);
+    const std::vector<float> raw = RandomVector(dim, rng);
+    L2NormalizeInto(raw.data(), dim, rows.norm.data() +
+                                         static_cast<size_t>(i) * dim);
+  }
+  return rows;
+}
+
+TEST(FlatIndexTest, AttachedSearchMatchesOwnedSearch) {
+  const int kDim = 8, kN = 50;
+  util::Rng rng(9);
+  std::vector<std::vector<float>> raw;
+  for (int i = 0; i < kN; ++i) raw.push_back(RandomVector(kDim, rng));
+
+  FlatIndex owned;
+  AttachedRows rows;
+  rows.count = kN;
+  rows.dim = kDim;
+  rows.norm.resize(static_cast<size_t>(kN) * kDim);
+  for (int i = 0; i < kN; ++i) {
+    owned.Add(i, raw[static_cast<size_t>(i)]);
+    rows.ids.push_back(i);
+    L2NormalizeInto(raw[static_cast<size_t>(i)].data(), kDim,
+                    rows.norm.data() + static_cast<size_t>(i) * kDim);
+  }
+  FlatIndex attached;
+  attached.AttachStorage(rows.ids.data(), rows.norm.data(), kN, kDim);
+
+  SearchScratch scratch;
+  std::vector<SearchResult> via_scratch;
+  for (int q = 0; q < kN; q += 11) {
+    const std::vector<float>& query = raw[static_cast<size_t>(q)];
+    const auto via_owned = owned.Search(query, 5);
+    std::vector<float> qnorm(kDim);
+    L2NormalizeInto(query.data(), kDim, qnorm.data());
+    attached.SearchNormalized(qnorm.data(), 5, &scratch, &via_scratch);
+    ASSERT_EQ(via_owned.size(), via_scratch.size());
+    for (size_t i = 0; i < via_owned.size(); ++i) {
+      EXPECT_EQ(via_owned[i].id, via_scratch[i].id);
+      EXPECT_EQ(via_owned[i].similarity, via_scratch[i].similarity);
+    }
+  }
+}
+
+TEST(HnswIndexTest, AttachedBuildMatchesOwnedBuild) {
+  // Add() and AttachStorage()+InsertNode() consume randomness in the same
+  // order, so the two build paths must produce byte-identical graphs.
+  const int kDim = 8, kN = 120;
+  util::Rng rng(13);
+  std::vector<std::vector<float>> raw;
+  for (int i = 0; i < kN; ++i) raw.push_back(RandomVector(kDim, rng));
+
+  HnswOptions options;
+  options.seed = 77;
+  HnswIndex owned(options);
+  AttachedRows rows;
+  rows.count = kN;
+  rows.dim = kDim;
+  rows.norm.resize(static_cast<size_t>(kN) * kDim);
+  for (int i = 0; i < kN; ++i) {
+    owned.Add(i, raw[static_cast<size_t>(i)]);
+    rows.ids.push_back(i);
+    L2NormalizeInto(raw[static_cast<size_t>(i)].data(), kDim,
+                    rows.norm.data() + static_cast<size_t>(i) * kDim);
+  }
+  HnswIndex attached(options);
+  attached.AttachStorage(rows.ids.data(), rows.norm.data(), kN, kDim);
+  for (int i = 0; i < kN; ++i) attached.InsertNode();
+
+  std::string owned_graph, attached_graph;
+  owned.SerializeGraph(&owned_graph);
+  attached.SerializeGraph(&attached_graph);
+  EXPECT_EQ(owned_graph, attached_graph);
+}
+
+TEST(HnswIndexTest, GraphRoundTripIsBitIdentical) {
+  const AttachedRows rows = MakeAttachedRows(150, 8, 17);
+  HnswOptions options;
+  options.M = 6;
+  options.ef_construction = 32;
+  HnswIndex built(options);
+  built.AttachStorage(rows.ids.data(), rows.norm.data(), rows.count,
+                      rows.dim);
+  for (int64_t i = 0; i < rows.count; ++i) built.InsertNode();
+
+  std::string image;
+  built.SerializeGraph(&image);
+  HnswIndex loaded(options);
+  loaded.AttachStorage(rows.ids.data(), rows.norm.data(), rows.count,
+                       rows.dim);
+  util::BinaryReader reader(image.data(), image.size());
+  ASSERT_TRUE(loaded.LoadGraph(&reader).ok());
+  EXPECT_EQ(loaded.graph_size(), rows.count);
+  EXPECT_EQ(loaded.max_level(), built.max_level());
+
+  // The restored graph re-serialises to the same bytes and answers every
+  // query with the same ids and similarity bits.
+  std::string reimage;
+  loaded.SerializeGraph(&reimage);
+  EXPECT_EQ(image, reimage);
+  SearchScratch s1, s2;
+  std::vector<SearchResult> h1, h2;
+  for (int64_t q = 0; q < rows.count; q += 13) {
+    const float* query = rows.norm.data() + static_cast<size_t>(q) * rows.dim;
+    built.SearchNormalized(query, 10, &s1, &h1);
+    loaded.SearchNormalized(query, 10, &s2, &h2);
+    ASSERT_EQ(h1.size(), h2.size());
+    for (size_t i = 0; i < h1.size(); ++i) {
+      EXPECT_EQ(h1[i].id, h2[i].id);
+      EXPECT_EQ(h1[i].similarity, h2[i].similarity);
+    }
+  }
+}
+
+TEST(HnswIndexTest, LoadGraphRejectsTruncatedImage) {
+  const AttachedRows rows = MakeAttachedRows(40, 4, 19);
+  HnswIndex built;
+  built.AttachStorage(rows.ids.data(), rows.norm.data(), rows.count,
+                      rows.dim);
+  for (int64_t i = 0; i < rows.count; ++i) built.InsertNode();
+  std::string image;
+  built.SerializeGraph(&image);
+
+  for (size_t cut : {size_t{0}, size_t{3}, image.size() / 2,
+                     image.size() - 1}) {
+    HnswIndex loaded;
+    loaded.AttachStorage(rows.ids.data(), rows.norm.data(), rows.count,
+                         rows.dim);
+    util::BinaryReader reader(image.data(), cut);
+    EXPECT_FALSE(loaded.LoadGraph(&reader).ok()) << "cut=" << cut;
+  }
+}
+
+TEST(HnswIndexTest, LoadGraphRejectsOutOfRangeEntryPoint) {
+  const AttachedRows rows = MakeAttachedRows(40, 4, 23);
+  HnswIndex built;
+  built.AttachStorage(rows.ids.data(), rows.norm.data(), rows.count,
+                      rows.dim);
+  for (int64_t i = 0; i < rows.count; ++i) built.InsertNode();
+  std::string image;
+  built.SerializeGraph(&image);
+  // The entry point is the leading int32; point it past the node count.
+  const int32_t bogus = 1000000;
+  std::memcpy(image.data(), &bogus, sizeof(bogus));
+
+  HnswIndex loaded;
+  loaded.AttachStorage(rows.ids.data(), rows.norm.data(), rows.count,
+                       rows.dim);
+  util::BinaryReader reader(image.data(), image.size());
+  const util::Status status = loaded.LoadGraph(&reader);
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(HnswIndexTest, LoadGraphRejectsNodeCountMismatch) {
+  const AttachedRows big = MakeAttachedRows(40, 4, 27);
+  HnswIndex built;
+  built.AttachStorage(big.ids.data(), big.norm.data(), big.count, big.dim);
+  for (int64_t i = 0; i < big.count; ++i) built.InsertNode();
+  std::string image;
+  built.SerializeGraph(&image);
+
+  const AttachedRows small = MakeAttachedRows(10, 4, 27);
+  HnswIndex loaded;
+  loaded.AttachStorage(small.ids.data(), small.norm.data(), small.count,
+                       small.dim);
+  util::BinaryReader reader(image.data(), image.size());
+  EXPECT_FALSE(loaded.LoadGraph(&reader).ok());
+}
+
+TEST(HnswIndexTest, LoadGraphOnBuiltIndexIsFailedPrecondition) {
+  const AttachedRows rows = MakeAttachedRows(20, 4, 31);
+  HnswIndex built;
+  built.AttachStorage(rows.ids.data(), rows.norm.data(), rows.count,
+                      rows.dim);
+  for (int64_t i = 0; i < rows.count; ++i) built.InsertNode();
+  std::string image;
+  built.SerializeGraph(&image);
+
+  util::BinaryReader reader(image.data(), image.size());
+  const util::Status status = built.LoadGraph(&reader);
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
 }
 
 }  // namespace

@@ -55,7 +55,10 @@ TEST(EmbeddingStoreTest, RebuildAndLookup) {
   EXPECT_EQ(store.size(), 2);
   EXPECT_TRUE(store.Contains(3));
   EXPECT_FALSE(store.Contains(5));
-  EXPECT_EQ(store.Embedding(7), (std::vector<float>{0.0f, 1.0f}));
+  // Embedding rows are borrowed from a pinned View (there is deliberately
+  // no store-level pass-through; the row must outlive no snapshot swap).
+  const EmbeddingStore::View view = store.view();
+  EXPECT_EQ(view.Embedding(7).ToVector(), (std::vector<float>{0.0f, 1.0f}));
 }
 
 TEST(EmbeddingStoreTest, SearchExcludesRequestedId) {
@@ -89,7 +92,7 @@ TEST(EmbeddingStoreTest, ViewPinsOneGenerationAcrossRebuilds) {
   EXPECT_EQ(old_view.size(), 1);
   EXPECT_TRUE(old_view.Contains(0));
   EXPECT_FALSE(old_view.Contains(1));
-  EXPECT_EQ(old_view.Embedding(0), (std::vector<float>{1.0f, 0.0f}));
+  EXPECT_EQ(old_view.Embedding(0).ToVector(), (std::vector<float>{1.0f, 0.0f}));
   const auto old_hits = old_view.Search({1.0f, 0.0f}, 1);
   ASSERT_EQ(old_hits.size(), 1u);
   EXPECT_EQ(old_hits[0].id, 0);

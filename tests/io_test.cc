@@ -1,13 +1,18 @@
-// CSV parsing/loading and model-weight persistence.
+// CSV parsing/loading, model-weight persistence, and embedding-store
+// persistence (segment/manifest corruption, fallback behaviour).
 
 #include <cstdio>
+#include <cstdlib>
 
 #include <gtest/gtest.h>
 
+#include "core/embedding_store.h"
 #include "core/explain_ti_model.h"
 #include "data/csv_loader.h"
 #include "data/wiki_generator.h"
 #include "util/csv.h"
+#include "util/fault_injection.h"
+#include "util/rng.h"
 
 namespace explainti {
 namespace {
@@ -175,6 +180,195 @@ TEST(WeightsIoTest, LoadRejectsGarbageFile) {
   core::ExplainTiModel model(config, corpus);
   EXPECT_FALSE(model.LoadWeights(path).ok());
   std::remove(path.c_str());
+}
+
+// ---------------------------------------------------------------------------
+// Embedding-store persistence: corruption is rejected with typed errors,
+// and the model-level path falls back to the in-memory rebuild.
+// ---------------------------------------------------------------------------
+
+std::string FreshStoreDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+/// XORs one byte of `path` at `offset` (negative = from the end).
+void FlipByte(const std::string& path, long offset) {
+  FILE* f = fopen(path.c_str(), "r+b");
+  ASSERT_NE(f, nullptr) << path;
+  fseek(f, offset, offset < 0 ? SEEK_END : SEEK_SET);
+  const int c = fgetc(f);
+  ASSERT_NE(c, EOF);
+  fseek(f, offset, offset < 0 ? SEEK_END : SEEK_SET);
+  fputc(c ^ 0x40, f);
+  fclose(f);
+}
+
+core::EmbeddingStore::Options SegOptions(int num_segments) {
+  core::EmbeddingStore::Options options;
+  options.num_segments = num_segments;
+  return options;
+}
+
+void FillSavableStore(core::EmbeddingStore* store) {
+  util::Rng rng(19);
+  std::vector<int> ids;
+  std::vector<std::vector<float>> rows;
+  for (int i = 0; i < 48; ++i) {
+    ids.push_back(i);
+    std::vector<float> v(8);
+    for (float& x : v) x = static_cast<float>(rng.Normal());
+    rows.push_back(std::move(v));
+  }
+  store->Rebuild(ids, rows);
+}
+
+TEST(StorePersistenceTest, CorruptSegmentFileIsTypedNotFatal) {
+  core::EmbeddingStore store(SegOptions(4));
+  FillSavableStore(&store);
+  const std::string dir = FreshStoreDir("store_corrupt_segment");
+  ASSERT_TRUE(store.Save(dir).ok());
+
+  // Flip one byte in the middle of a segment payload and one in its CRC
+  // footer; both must surface as InvalidArgument, never a crash, with the
+  // loading store left on its previous (empty) snapshot.
+  for (long offset : {200L, -2L}) {
+    const std::string dir2 = FreshStoreDir("store_corrupt_segment_work");
+    ASSERT_EQ(std::system(("cp -r " + dir + " " + dir2).c_str()), 0);
+    FlipByte(dir2 + "/seg_000001.xts", offset);
+
+    core::EmbeddingStore loaded;
+    const util::Status status = loaded.Load(dir2);
+    EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument)
+        << "offset=" << offset << ": " << status.ToString();
+    EXPECT_EQ(loaded.size(), 0);
+    EXPECT_EQ(loaded.view().generation(), 0u);
+  }
+}
+
+TEST(StorePersistenceTest, CorruptManifestIsTypedNotFatal) {
+  core::EmbeddingStore store(SegOptions(2));
+  FillSavableStore(&store);
+  const std::string dir = FreshStoreDir("store_corrupt_manifest");
+  ASSERT_TRUE(store.Save(dir).ok());
+  FlipByte(dir + "/manifest.xtm", 12);
+
+  core::EmbeddingStore loaded;
+  const util::Status status = loaded.Load(dir);
+  EXPECT_EQ(status.code(), util::StatusCode::kInvalidArgument)
+      << status.ToString();
+  EXPECT_EQ(loaded.size(), 0);
+}
+
+TEST(StorePersistenceTest, TruncatedSegmentFileIsTypedNotFatal) {
+  core::EmbeddingStore store(SegOptions(2));
+  FillSavableStore(&store);
+  const std::string dir = FreshStoreDir("store_truncated_segment");
+  ASSERT_TRUE(store.Save(dir).ok());
+  ASSERT_EQ(std::system(
+                ("truncate -s 100 " + dir + "/seg_000000.xts").c_str()),
+            0);
+
+  core::EmbeddingStore loaded;
+  EXPECT_EQ(loaded.Load(dir).code(), util::StatusCode::kInvalidArgument);
+}
+
+TEST(StorePersistenceTest, SaveFaultLeavesNoLoadableDir) {
+  util::fault::FaultSpec spec;
+  spec.max_fires = 1;
+  util::fault::FaultRegistry::Instance().Arm("store.save", spec);
+  core::EmbeddingStore store(SegOptions(2));
+  FillSavableStore(&store);
+  const std::string dir = FreshStoreDir("store_save_fault");
+  const util::Status status = store.Save(dir);
+  util::fault::FaultRegistry::Instance().DisarmAll();
+  EXPECT_FALSE(status.ok());
+
+  // The manifest goes last, so a failed save leaves nothing loadable —
+  // and a retry on the same directory succeeds cleanly.
+  core::EmbeddingStore loaded;
+  EXPECT_EQ(loaded.Load(dir).code(), util::StatusCode::kNotFound);
+  ASSERT_TRUE(store.Save(dir).ok());
+  EXPECT_TRUE(loaded.Load(dir).ok());
+  EXPECT_EQ(loaded.size(), store.size());
+}
+
+TEST(ModelStoreIoTest, RestoredModelReopensStoresWithoutReencoding) {
+  data::WikiTableOptions options;
+  options.num_tables = 30;
+  const data::TableCorpus corpus = data::GenerateWikiTableCorpus(options);
+
+  core::ExplainTiConfig config;
+  config.epochs = 1;
+  config.pretrain_epochs = 1;
+  config.store_segments = 2;
+  core::ExplainTiModel trained(config, corpus);
+  trained.Fit();
+
+  const std::string weights = "/tmp/explainti_store_io_weights.bin";
+  const std::string store_dir = FreshStoreDir("model_stores");
+  ASSERT_TRUE(trained.SaveWeights(weights).ok());
+  ASSERT_TRUE(trained.SaveStores(store_dir).ok());
+
+  // A fresh process image: same architecture, store_dir pointed at the
+  // persisted stores. LoadWeights reopens them (mmap) instead of
+  // re-encoding the corpus, and every store-dependent output — SE feeds
+  // the final logits, GE drives the global view — matches bit-for-bit.
+  core::ExplainTiConfig restored_config = config;
+  restored_config.store_dir = store_dir;
+  core::ExplainTiModel restored(restored_config, corpus);
+  ASSERT_TRUE(restored.LoadWeights(weights).ok());
+
+  const auto& task = trained.task_data(core::TaskKind::kType);
+  for (size_t i = 0; i < task.test_ids.size() && i < 5; ++i) {
+    const int id = task.test_ids[i];
+    EXPECT_EQ(trained.PredictProbabilities(core::TaskKind::kType, id),
+              restored.PredictProbabilities(core::TaskKind::kType, id));
+    const core::Explanation a = trained.Explain(core::TaskKind::kType, id);
+    const core::Explanation b = restored.Explain(core::TaskKind::kType, id);
+    ASSERT_EQ(a.global.size(), b.global.size());
+    for (size_t g = 0; g < a.global.size(); ++g) {
+      EXPECT_EQ(a.global[g].train_sample_id, b.global[g].train_sample_id);
+      EXPECT_EQ(a.global[g].influence, b.global[g].influence);
+    }
+  }
+  std::remove(weights.c_str());
+}
+
+TEST(ModelStoreIoTest, CorruptStoreDirFallsBackToInMemoryRebuild) {
+  data::WikiTableOptions options;
+  options.num_tables = 30;
+  const data::TableCorpus corpus = data::GenerateWikiTableCorpus(options);
+
+  core::ExplainTiConfig config;
+  config.epochs = 1;
+  config.pretrain_epochs = 1;
+  config.store_segments = 2;
+  core::ExplainTiModel trained(config, corpus);
+  trained.Fit();
+
+  const std::string weights = "/tmp/explainti_store_fallback_weights.bin";
+  const std::string store_dir = FreshStoreDir("model_stores_corrupt");
+  ASSERT_TRUE(trained.SaveWeights(weights).ok());
+  ASSERT_TRUE(trained.SaveStores(store_dir).ok());
+  FlipByte(store_dir + "/type/manifest.xtm", -3);
+
+  // The corrupt store is rejected, but LoadWeights does not fail: it
+  // falls back to re-encoding the corpus, and predictions still match
+  // (the rebuilt store holds the same embeddings).
+  core::ExplainTiConfig restored_config = config;
+  restored_config.store_dir = store_dir;
+  core::ExplainTiModel restored(restored_config, corpus);
+  ASSERT_TRUE(restored.LoadWeights(weights).ok());
+
+  const auto& task = trained.task_data(core::TaskKind::kType);
+  for (size_t i = 0; i < task.test_ids.size() && i < 5; ++i) {
+    const int id = task.test_ids[i];
+    EXPECT_EQ(trained.PredictProbabilities(core::TaskKind::kType, id),
+              restored.PredictProbabilities(core::TaskKind::kType, id));
+  }
+  std::remove(weights.c_str());
 }
 
 }  // namespace

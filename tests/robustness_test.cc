@@ -272,6 +272,75 @@ TEST_F(RobustnessTest, AbortedHnswBuildServesFromFlatTier) {
   EXPECT_EQ(hits[0].id, 0);  // Exact search finds the query itself first.
 }
 
+TEST_F(RobustnessTest, BuildFaultDegradesOneSegmentNotTheStore) {
+  // Segment-granular degradation: a "store.build" fault that fires once
+  // during a 4-segment rebuild aborts exactly one segment's HNSW build.
+  // The other segments keep their graphs, and the store keeps answering
+  // (flagged as fallback, since one shard serves flat).
+  FaultSpec spec;
+  spec.every_n = 10;
+  spec.max_fires = 1;
+  FaultRegistry::Instance().Arm("store.build", spec);
+
+  EmbeddingStore::Options options;
+  options.num_segments = 4;
+  EmbeddingStore store(options);
+  std::vector<int> ids;
+  std::vector<std::vector<float>> embeddings;
+  FillStore(store, ids, embeddings);
+  FaultRegistry::Instance().DisarmAll();
+
+  const EmbeddingStore::View view = store.view();
+  ASSERT_EQ(view.num_segments(), 4);
+  int degraded_segments = 0;
+  for (int shard = 0; shard < 4; ++shard) {
+    if (!view.segment_hnsw_ready(shard)) ++degraded_segments;
+  }
+  EXPECT_EQ(degraded_segments, 1);
+  EXPECT_FALSE(view.hnsw_ready());
+
+  // Every query still answers; any query is flagged because one shard of
+  // the fan-out degraded.
+  bool used_fallback = false;
+  const auto hits = view.Search(embeddings[5], 3, /*exclude_id=*/-1,
+                                &used_fallback);
+  EXPECT_TRUE(used_fallback);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 5);
+
+  // A fault-free rebuild with identical content heals the degraded
+  // segment (it is NOT copy-on-write-reused in its broken state) and
+  // reuses the three healthy ones.
+  store.Rebuild(ids, embeddings);
+  EXPECT_TRUE(store.hnsw_ready());
+  EXPECT_EQ(store.last_rebuild_stats().segments_built, 1);
+  EXPECT_EQ(store.last_rebuild_stats().segments_reused, 3);
+}
+
+TEST_F(RobustnessTest, QueryFaultDegradesShardsIndependently) {
+  EmbeddingStore::Options options;
+  options.num_segments = 4;
+  EmbeddingStore store(options);
+  std::vector<int> ids;
+  std::vector<std::vector<float>> embeddings;
+  FillStore(store, ids, embeddings);
+  ASSERT_TRUE(store.hnsw_ready());
+
+  // Fire on every second shard query: some shards of each fan-out answer
+  // from HNSW, some from flat — the merged result must still be correct.
+  FaultSpec spec;
+  spec.every_n = 2;
+  FaultRegistry::Instance().Arm("ann.query", spec);
+  bool used_fallback = false;
+  const auto hits = store.Search(embeddings[9], 3, /*exclude_id=*/-1,
+                                 &used_fallback);
+  FaultRegistry::Instance().DisarmAll();
+  EXPECT_TRUE(used_fallback);
+  ASSERT_FALSE(hits.empty());
+  EXPECT_EQ(hits[0].id, 9);
+  EXPECT_GE(store.degraded_searches(), 1);
+}
+
 TEST_F(RobustnessTest, EmptyStoreSearchReturnsNothing) {
   EmbeddingStore store;
   bool used_fallback = false;

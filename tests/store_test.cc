@@ -1,0 +1,399 @@
+// Sharded, snapshot-persistent embedding store: merge determinism,
+// copy-on-write rebuilds, and the persisted-format round trip (mmap and
+// read() fallback). The acceptance bar here is bit-identity: a saved
+// store reloaded in a fresh object must answer every query with the same
+// ids, the same similarity BITS, and the same fallback flags — at every
+// shard count and thread count.
+
+#include <cstdint>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "ann/sharded_search.h"
+#include "core/embedding_store.h"
+#include "util/alloc_counter.h"
+#include "util/rng.h"
+#include "util/thread_pool.h"
+
+namespace explainti::core {
+namespace {
+
+using ann::SearchResult;
+
+// ---------------------------------------------------------------------------
+// MergeTopK: the bounded-heap merge under the (similarity desc, id asc)
+// total order.
+// ---------------------------------------------------------------------------
+
+TEST(MergeTopKTest, OrdersBySimilarityThenId) {
+  std::vector<std::vector<SearchResult>> shards(2);
+  shards[0] = {{5, 0.9f}, {9, 0.5f}};
+  shards[1] = {{2, 0.9f}, {1, 0.7f}};
+  std::vector<SearchResult> out;
+  ann::MergeTopK(shards.data(), 2, 4, /*exclude_id=*/-1, &out);
+  ASSERT_EQ(out.size(), 4u);
+  EXPECT_EQ(out[0].id, 2);  // Tie at 0.9 broken by ascending id.
+  EXPECT_EQ(out[1].id, 5);
+  EXPECT_EQ(out[2].id, 1);
+  EXPECT_EQ(out[3].id, 9);
+}
+
+TEST(MergeTopKTest, DropsExcludedIdWithoutCostingAHit) {
+  std::vector<std::vector<SearchResult>> shards(1);
+  shards[0] = {{0, 1.0f}, {1, 0.9f}, {2, 0.8f}};
+  std::vector<SearchResult> out;
+  ann::MergeTopK(shards.data(), 1, 2, /*exclude_id=*/0, &out);
+  ASSERT_EQ(out.size(), 2u);
+  EXPECT_EQ(out[0].id, 1);
+  EXPECT_EQ(out[1].id, 2);
+}
+
+TEST(MergeTopKTest, BoundedToKAndIndependentOfShardOrder) {
+  std::vector<SearchResult> a = {{10, 0.9f}, {11, 0.3f}, {12, 0.1f}};
+  std::vector<SearchResult> b = {{20, 0.8f}, {21, 0.4f}};
+  std::vector<SearchResult> c = {{30, 0.85f}, {31, 0.2f}};
+  std::vector<std::vector<SearchResult>> fwd = {a, b, c};
+  std::vector<std::vector<SearchResult>> rev = {c, b, a};
+  std::vector<SearchResult> out_fwd, out_rev;
+  ann::MergeTopK(fwd.data(), 3, 3, -1, &out_fwd);
+  ann::MergeTopK(rev.data(), 3, 3, -1, &out_rev);
+  ASSERT_EQ(out_fwd.size(), 3u);
+  EXPECT_EQ(out_fwd[0].id, 10);
+  EXPECT_EQ(out_fwd[1].id, 30);
+  EXPECT_EQ(out_fwd[2].id, 20);
+  ASSERT_EQ(out_rev.size(), out_fwd.size());
+  for (size_t i = 0; i < out_fwd.size(); ++i) {
+    EXPECT_EQ(out_fwd[i].id, out_rev[i].id);
+    EXPECT_EQ(out_fwd[i].similarity, out_rev[i].similarity);
+  }
+}
+
+TEST(MergeTopKTest, NonPositiveKReturnsNothing) {
+  std::vector<std::vector<SearchResult>> shards(1);
+  shards[0] = {{1, 0.5f}};
+  std::vector<SearchResult> out = {{99, 0.1f}};
+  ann::MergeTopK(shards.data(), 1, 0, -1, &out);
+  EXPECT_TRUE(out.empty());
+}
+
+// ---------------------------------------------------------------------------
+// Store fixture helpers.
+// ---------------------------------------------------------------------------
+
+std::vector<std::vector<float>> MakeRows(int n, int dim, uint64_t seed) {
+  util::Rng rng(seed);
+  std::vector<std::vector<float>> rows(static_cast<size_t>(n));
+  for (auto& row : rows) {
+    row.resize(static_cast<size_t>(dim));
+    for (float& x : row) x = static_cast<float>(rng.Normal());
+  }
+  return rows;
+}
+
+std::vector<int> Iota(int n) {
+  std::vector<int> ids(static_cast<size_t>(n));
+  for (int i = 0; i < n; ++i) ids[static_cast<size_t>(i)] = i;
+  return ids;
+}
+
+EmbeddingStore::Options SegOptions(int num_segments) {
+  EmbeddingStore::Options options;
+  options.num_segments = num_segments;
+  options.hnsw.M = 6;
+  options.hnsw.ef_construction = 32;
+  options.hnsw.ef_search = 24;
+  return options;
+}
+
+/// One query's full observable outcome, with similarities captured as raw
+/// bits so "close enough" can never pass for "identical".
+struct GoldenHit {
+  int64_t id;
+  uint32_t sim_bits;
+  bool operator==(const GoldenHit&) const = default;
+};
+struct GoldenQuery {
+  std::vector<GoldenHit> hits;
+  bool used_fallback = false;
+  bool operator==(const GoldenQuery&) const = default;
+};
+
+std::vector<GoldenQuery> CaptureGolden(
+    const EmbeddingStore::View& view,
+    const std::vector<std::vector<float>>& queries, int k) {
+  std::vector<GoldenQuery> golden;
+  for (const auto& q : queries) {
+    GoldenQuery g;
+    const auto hits = view.Search(q, k, /*exclude_id=*/-1, &g.used_fallback);
+    for (const SearchResult& hit : hits) {
+      uint32_t bits = 0;
+      static_assert(sizeof(bits) == sizeof(hit.similarity));
+      std::memcpy(&bits, &hit.similarity, sizeof(bits));
+      g.hits.push_back(GoldenHit{hit.id, bits});
+    }
+    golden.push_back(std::move(g));
+  }
+  return golden;
+}
+
+std::string FreshDir(const std::string& name) {
+  const std::string dir = ::testing::TempDir() + "/" + name;
+  std::system(("rm -rf " + dir).c_str());
+  return dir;
+}
+
+class StoreTest : public ::testing::Test {
+ protected:
+  void TearDown() override { util::SetGlobalThreadCount(1); }
+};
+
+// ---------------------------------------------------------------------------
+// Segmented search semantics.
+// ---------------------------------------------------------------------------
+
+TEST_F(StoreTest, SegmentedStoreAgreesWithFlatTruthOnTopHit) {
+  const int kDim = 8;
+  const auto rows = MakeRows(60, kDim, 7);
+  for (int segments : {1, 2, 8}) {
+    EmbeddingStore store(SegOptions(segments));
+    store.Rebuild(Iota(60), rows);
+    EXPECT_TRUE(store.hnsw_ready());
+    const EmbeddingStore::View view = store.view();
+    EXPECT_EQ(view.num_segments(), segments);
+    for (int q = 0; q < 60; q += 7) {
+      const auto hits = view.Search(rows[static_cast<size_t>(q)], 3);
+      ASSERT_FALSE(hits.empty()) << "segments=" << segments << " q=" << q;
+      EXPECT_EQ(hits[0].id, q);  // A stored row's nearest is itself.
+    }
+  }
+}
+
+TEST_F(StoreTest, SearchIsBitIdenticalAcrossThreadCounts) {
+  const auto rows = MakeRows(80, 8, 11);
+  const auto queries = MakeRows(10, 8, 99);
+  EmbeddingStore store(SegOptions(8));
+  store.Rebuild(Iota(80), rows);
+  const EmbeddingStore::View view = store.view();
+
+  util::SetGlobalThreadCount(1);
+  const auto serial = CaptureGolden(view, queries, 5);
+  util::SetGlobalThreadCount(4);
+  const auto parallel = CaptureGolden(view, queries, 5);
+  EXPECT_EQ(serial, parallel);
+}
+
+TEST_F(StoreTest, SearchIntoMatchesSearchAndReusesCapacity) {
+  const auto rows = MakeRows(40, 8, 3);
+  EmbeddingStore store(SegOptions(4));
+  store.Rebuild(Iota(40), rows);
+  const EmbeddingStore::View view = store.view();
+  std::vector<SearchResult> reused;
+  for (int q = 0; q < 10; ++q) {
+    const auto by_value = view.Search(rows[static_cast<size_t>(q)], 4, q);
+    view.SearchInto(rows[static_cast<size_t>(q)], 4, q, &reused);
+    ASSERT_EQ(by_value.size(), reused.size());
+    for (size_t i = 0; i < by_value.size(); ++i) {
+      EXPECT_EQ(by_value[i].id, reused[i].id);
+      EXPECT_EQ(by_value[i].similarity, reused[i].similarity);
+    }
+  }
+}
+
+TEST_F(StoreTest, SteadyStateSerialSearchAllocatesNothing) {
+  const auto rows = MakeRows(64, 8, 21);
+  EmbeddingStore store(SegOptions(4));
+  store.Rebuild(Iota(64), rows);
+  const EmbeddingStore::View view = store.view();
+  util::SetGlobalThreadCount(1);
+
+  std::vector<SearchResult> out;
+  // Warm the output vector and the thread-local fan-out scratch.
+  for (int q = 0; q < 8; ++q) {
+    view.SearchInto(rows[static_cast<size_t>(q)], 5, -1, &out);
+  }
+  util::ScopedAllocCounter counter;
+  for (int q = 0; q < 32; ++q) {
+    view.SearchInto(rows[static_cast<size_t>(q % 8)], 5, -1, &out);
+  }
+  EXPECT_EQ(counter.Delta().allocations, 0)
+      << "steady-state serial store search must not touch the heap";
+}
+
+// ---------------------------------------------------------------------------
+// Copy-on-write rebuilds.
+// ---------------------------------------------------------------------------
+
+TEST_F(StoreTest, IncrementalRebuildReencodesOnlyDirtySegments) {
+  const int kN = 64, kDim = 8;
+  auto rows = MakeRows(kN, kDim, 5);
+  EmbeddingStore store(SegOptions(8));
+  store.Rebuild(Iota(kN), rows);
+  EXPECT_EQ(store.last_rebuild_stats().segments_built, 8);
+  EXPECT_EQ(store.last_rebuild_stats().segments_reused, 0);
+  const EmbeddingStore::View old_view = store.view();
+
+  // Dirty exactly one id-range (span is 8 here: ids 16..23 = segment 2).
+  rows[17][0] += 1.0f;
+  store.Rebuild(Iota(kN), rows);
+  const EmbeddingStore::RebuildStats stats = store.last_rebuild_stats();
+  EXPECT_EQ(stats.segments_built, 1);
+  EXPECT_EQ(stats.segments_reused, 7);
+
+  // Clean segments are reused by POINTER, not re-encoded: a row borrowed
+  // from the old generation and the same row in the new one share storage.
+  const EmbeddingStore::View new_view = store.view();
+  EXPECT_EQ(old_view.Embedding(0).data(), new_view.Embedding(0).data());
+  EXPECT_NE(old_view.Embedding(17).data(), new_view.Embedding(17).data());
+
+  // The pinned old view still answers from its own generation.
+  EXPECT_EQ(old_view.Embedding(17).ToVector()[0] + 1.0f,
+            new_view.Embedding(17).ToVector()[0]);
+}
+
+TEST_F(StoreTest, RebuildWithIdenticalContentReusesEverything) {
+  const auto rows = MakeRows(48, 8, 13);
+  EmbeddingStore store(SegOptions(6));
+  store.Rebuild(Iota(48), rows);
+  store.Rebuild(Iota(48), rows);
+  EXPECT_EQ(store.last_rebuild_stats().segments_built, 0);
+  EXPECT_EQ(store.last_rebuild_stats().segments_reused, 6);
+  EXPECT_EQ(store.view().generation(), 2u);
+}
+
+TEST_F(StoreTest, SpanChangeInvalidatesReuse) {
+  const auto rows = MakeRows(48, 8, 17);
+  EmbeddingStore a(SegOptions(6));
+  a.Rebuild(Iota(48), rows);
+  // Dropping rows changes max_id, hence span: no segment is comparable.
+  EmbeddingStore b(SegOptions(6));
+  b.Rebuild(Iota(48), rows);
+  b.Rebuild(Iota(24), {rows.begin(), rows.begin() + 24});
+  EXPECT_EQ(b.last_rebuild_stats().segments_reused, 0);
+  EXPECT_EQ(b.size(), 24);
+}
+
+// ---------------------------------------------------------------------------
+// Persistence: save -> load bit-identity at every shard count and thread
+// count, through mmap and through the read() fallback.
+// ---------------------------------------------------------------------------
+
+TEST_F(StoreTest, SaveLoadRoundTripIsBitIdentical) {
+  const int kN = 200, kDim = 16, kK = 10;
+  const auto rows = MakeRows(kN, kDim, 29);
+  const auto queries = MakeRows(12, kDim, 101);
+
+  for (int segments : {1, 2, 8}) {
+    EmbeddingStore store(SegOptions(segments));
+    store.Rebuild(Iota(kN), rows);
+    const std::string dir =
+        FreshDir("store_roundtrip_" + std::to_string(segments));
+    ASSERT_TRUE(store.Save(dir).ok());
+
+    for (int threads : {1, 4}) {
+      util::SetGlobalThreadCount(threads);
+      const auto golden = CaptureGolden(store.view(), queries, kK);
+
+      EmbeddingStore loaded(SegOptions(segments));
+      ASSERT_TRUE(loaded.Load(dir).ok())
+          << "segments=" << segments << " threads=" << threads;
+      const EmbeddingStore::View view = loaded.view();
+      EXPECT_EQ(view.size(), kN);
+      EXPECT_EQ(view.dim(), kDim);
+      EXPECT_EQ(view.num_segments(), segments);
+      EXPECT_TRUE(view.hnsw_ready());
+      EXPECT_EQ(CaptureGolden(view, queries, kK), golden)
+          << "segments=" << segments << " threads=" << threads;
+
+      // Raw embedding rows survive byte-for-byte too.
+      for (int id = 0; id < kN; id += 37) {
+        EXPECT_EQ(view.Embedding(id).ToVector(),
+                  rows[static_cast<size_t>(id)]);
+      }
+    }
+  }
+}
+
+TEST_F(StoreTest, ReadFallbackMatchesMmap) {
+  const auto rows = MakeRows(96, 8, 31);
+  const auto queries = MakeRows(8, 8, 103);
+  EmbeddingStore store(SegOptions(4));
+  store.Rebuild(Iota(96), rows);
+  const std::string dir = FreshDir("store_nommap");
+  ASSERT_TRUE(store.Save(dir).ok());
+  const auto golden = CaptureGolden(store.view(), queries, 5);
+
+  ASSERT_EQ(setenv("EXPLAINTI_NO_MMAP", "1", 1), 0);
+  EmbeddingStore loaded(SegOptions(4));
+  const util::Status status = loaded.Load(dir);
+  unsetenv("EXPLAINTI_NO_MMAP");
+  ASSERT_TRUE(status.ok());
+  EXPECT_EQ(CaptureGolden(loaded.view(), queries, 5), golden);
+}
+
+TEST_F(StoreTest, ReloadedStoreSavesAnIdenticalStore) {
+  // Save -> load -> save -> load must stay bit-identical: the manifest
+  // carries the HNSW geometry (seed, ef) so a second generation of files
+  // reproduces the same graphs and the same search behaviour.
+  const auto rows = MakeRows(64, 8, 37);
+  const auto queries = MakeRows(6, 8, 107);
+  EmbeddingStore store(SegOptions(2));
+  store.Rebuild(Iota(64), rows);
+  const std::string dir1 = FreshDir("store_regen1");
+  ASSERT_TRUE(store.Save(dir1).ok());
+  const auto golden = CaptureGolden(store.view(), queries, 5);
+
+  EmbeddingStore mid;
+  ASSERT_TRUE(mid.Load(dir1).ok());
+  const std::string dir2 = FreshDir("store_regen2");
+  ASSERT_TRUE(mid.Save(dir2).ok());
+
+  EmbeddingStore end;
+  ASSERT_TRUE(end.Load(dir2).ok());
+  EXPECT_EQ(CaptureGolden(end.view(), queries, 5), golden);
+}
+
+TEST_F(StoreTest, SaveEmptyStoreIsFailedPrecondition) {
+  EmbeddingStore store;
+  const util::Status status = store.Save(FreshDir("store_empty"));
+  EXPECT_EQ(status.code(), util::StatusCode::kFailedPrecondition);
+}
+
+TEST_F(StoreTest, LoadMissingDirectoryFailsAndKeepsCurrentSnapshot) {
+  const auto rows = MakeRows(16, 4, 41);
+  EmbeddingStore store(SegOptions(2));
+  store.Rebuild(Iota(16), rows);
+  const uint64_t generation = store.view().generation();
+
+  EXPECT_EQ(store.Load("/nonexistent/store/dir").code(),
+            util::StatusCode::kNotFound);
+  // The failed load never published: same generation, same contents.
+  EXPECT_EQ(store.view().generation(), generation);
+  EXPECT_EQ(store.size(), 16);
+}
+
+TEST_F(StoreTest, SparseIdsRoundTrip) {
+  // Non-contiguous ids leave some ranges empty; empty ranges get no file
+  // and no manifest entry, and reload preserves membership exactly.
+  const std::vector<int> ids = {3, 4, 40, 41, 42, 95};
+  const auto rows = MakeRows(static_cast<int>(ids.size()), 8, 43);
+  EmbeddingStore store(SegOptions(8));
+  store.Rebuild(ids, rows);
+  const std::string dir = FreshDir("store_sparse");
+  ASSERT_TRUE(store.Save(dir).ok());
+
+  EmbeddingStore loaded;
+  ASSERT_TRUE(loaded.Load(dir).ok());
+  const EmbeddingStore::View view = loaded.view();
+  EXPECT_EQ(view.size(), static_cast<int64_t>(ids.size()));
+  for (int id : ids) EXPECT_TRUE(view.Contains(id));
+  EXPECT_FALSE(view.Contains(5));
+  EXPECT_FALSE(view.Contains(50));
+  EXPECT_EQ(view.max_id(), 95);
+}
+
+}  // namespace
+}  // namespace explainti::core
