@@ -9,7 +9,9 @@
 #                             plus the chaos suite (fault-injection
 #                             paths are exactly where lifetime bugs
 #                             hide, so they run under ASan).
-#   ci/run_ci.sh tsan         ThreadSanitizer build, tier1 tests with
+#   ci/run_ci.sh tsan         ThreadSanitizer build, tier1 tests plus the
+#                             chaos suite (fault-injection exercises the
+#                             swap/shed paths where races hide) with
 #                             EXPLAINTI_NUM_THREADS=4 so every parallel
 #                             region actually fans out under TSan.
 #
@@ -82,6 +84,19 @@ case "$JOB" in
     (cd "$BUILD" && ./bench/bench_online_simulation)
     echo "BENCH_serving.json:"
     cat "$BUILD/BENCH_serving.json"
+    # The serving gate reads the host metadata embedded in the JSON: on
+    # >=4-thread hosts it enforces the 1.5x batched speedup, elsewhere it
+    # prints an explicit SKIPPED line instead of silently passing.
+    python3 "$ROOT/ci/check_bench.py" "$BUILD/BENCH_serving.json"
+    # Quantized-serving benchmark: fp32-vs-int8 GEMM throughput, end-to-end
+    # Predict/Explain latency, weight memory, macro-F1 deltas on both
+    # corpora, and golden evidence-token agreement. check_bench.py gates
+    # accuracy drift, the all-or-nothing int8 policy, the allocation-free
+    # executor, and (on >=4-thread hosts) the 2x int8 GEMM speedup.
+    (cd "$BUILD" && ./bench/bench_quantized)
+    echo "BENCH_quantized.json:"
+    cat "$BUILD/BENCH_quantized.json"
+    python3 "$ROOT/ci/check_bench.py" "$BUILD/BENCH_quantized.json"
     # Consolidate every benchmark JSON into one artifact bundle. The
     # release artifacts are incomplete without all of them, so a missing
     # file fails the job rather than silently uploading a partial set.
@@ -89,7 +104,8 @@ case "$JOB" in
     rm -rf "$BUNDLE"
     mkdir -p "$BUNDLE"
     for bench_json in BENCH_parallel.json BENCH_inference.json \
-                      BENCH_store.json BENCH_serving.json; do
+                      BENCH_store.json BENCH_serving.json \
+                      BENCH_quantized.json; do
       if [ ! -f "$BUILD/$bench_json" ]; then
         echo "$bench_json missing from release artifacts" >&2
         exit 1
@@ -116,7 +132,7 @@ case "$JOB" in
     (cd "$BUILD" && \
      EXPLAINTI_NUM_THREADS=4 \
      TSAN_OPTIONS=halt_on_error=1:second_deadlock_stack=1 \
-     ctest -L tier1 --output-on-failure --timeout "$CTEST_TIMEOUT" \
+     ctest -L 'tier1|chaos' --output-on-failure --timeout "$CTEST_TIMEOUT" \
        -j "$JOBS")
     ;;
   *)

@@ -5,6 +5,7 @@
 #include <unordered_set>
 
 #include "text/tokenizer.h"
+#include "util/hash.h"
 #include "util/logging.h"
 
 namespace explainti::baselines {
@@ -14,15 +15,6 @@ namespace {
 constexpr char kCharset[] = "abcdefghijklmnopqrstuvwxyz0123456789";
 constexpr int kCharsetSize = 36;
 constexpr int kStatsSize = 9;
-
-uint64_t HashToken(const std::string& token) {
-  uint64_t h = 1469598103934665603ULL;  // FNV-1a.
-  for (char c : token) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
 
 }  // namespace
 
@@ -113,7 +105,7 @@ std::vector<float> ColumnFeatureExtractor::Extract(
   for (const std::string& cell : cells) {
     for (const std::string& token : text::BasicTokenize(cell)) {
       const size_t bucket =
-          static_cast<size_t>(HashToken(token) % hash_dim_);
+          static_cast<size_t>(util::HashTokenFeature(token) % hash_dim_);
       features[hash_base + bucket] += 1.0f;
       ++token_total;
     }
@@ -134,7 +126,7 @@ std::vector<float> ColumnFeatureExtractor::TableTopic(const data::Table& table,
   int64_t total = 0;
   auto add_text = [&](const std::string& textual) {
     for (const std::string& token : text::BasicTokenize(textual)) {
-      topic[static_cast<size_t>(HashToken(token) % topic_dim)] += 1.0f;
+      topic[static_cast<size_t>(util::HashTokenFeature(token) % topic_dim)] += 1.0f;
       ++total;
     }
   };

@@ -7,6 +7,7 @@
 #include "tensor/optimizer.h"
 #include "tensor/tensor_ops.h"
 #include "text/tokenizer.h"
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/rng.h"
 
@@ -14,20 +15,11 @@ namespace explainti::eval {
 
 namespace {
 
-uint64_t HashToken(const std::string& token) {
-  uint64_t h = 1469598103934665603ULL;  // FNV-1a.
-  for (char c : token) {
-    h ^= static_cast<unsigned char>(c);
-    h *= 1099511628211ULL;
-  }
-  return h;
-}
-
 std::vector<float> BagOfWords(const std::string& textual, int hash_dim) {
   std::vector<float> features(static_cast<size_t>(hash_dim), 0.0f);
   int64_t total = 0;
   for (const std::string& token : text::BasicTokenize(textual)) {
-    features[static_cast<size_t>(HashToken(token) % hash_dim)] += 1.0f;
+    features[static_cast<size_t>(util::HashTokenFeature(token) % hash_dim)] += 1.0f;
     ++total;
   }
   if (total > 0) {

@@ -1,6 +1,7 @@
 #include "serve/server.h"
 
 #include <condition_variable>
+#include <cstring>
 #include <string>
 #include <utility>
 
@@ -26,6 +27,11 @@ InferenceServer::InferenceServer(const core::InferenceSession& session,
   current_ = std::make_shared<Generation>();
   current_->session = &session;
   current_->id = 1;
+  // Cumulative across generations: bumped once per installed session by
+  // its calibrated per-layer fp32-fallback count, so a fleet scrape sees
+  // mixed-precision calibration drift across rollouts.
+  metrics_->GetCounter("serve.fp32_fallback_layers")
+      ->Increment(session.precision_stats().fp32_fallback_layers);
   workers_.reserve(static_cast<size_t>(options_.num_workers));
   for (int i = 0; i < options_.num_workers; ++i) {
     workers_.emplace_back([this] { WorkerLoop(); });
@@ -233,6 +239,8 @@ util::Status InferenceServer::SwapSession(const core::InferenceSession& next) {
   // caching opportunity, never a correctness issue.)
   if (cache_ != nullptr) cache_->Clear();
   metrics_->GetCounter("serve.swaps")->Increment();
+  metrics_->GetCounter("serve.fp32_fallback_layers")
+      ->Increment(next.precision_stats().fp32_fallback_layers);
   return util::Status::OK();
 }
 
@@ -377,6 +385,12 @@ void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
         ->GetCounter(session.plans_enabled() ? "serve.plan_batches"
                                              : "serve.graph_batches")
         ->Increment();
+    // Quantized-tier visibility: batches served below fp32. A generation
+    // whose policy asks for int8 but never bumps this is the alert that
+    // the tier failed closed (session.precision_status() has the why).
+    if (std::strcmp(session.served_precision(), "fp32") != 0) {
+      metrics->GetCounter("serve.int8_batches")->Increment();
+    }
   }
 
   const int64_t dispatch_us = util::MonotonicNowUs();
@@ -443,6 +457,7 @@ void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
     response.total_us = done_us - pending.request.arrival_us;
     response.batch_size = static_cast<int>(batch.size());
     response.model_generation = generation;
+    response.precision = session.served_precision();
     if (queue_wait != nullptr) queue_wait->Record(response.queue_wait_us);
     if (e2e != nullptr) e2e->Record(response.total_us);
     if (cache != nullptr && pending.input_hash != 0) {

@@ -1,0 +1,29 @@
+#ifndef EXPLAINTI_TENSOR_DTYPE_H_
+#define EXPLAINTI_TENSOR_DTYPE_H_
+
+#include <cstdint>
+
+namespace explainti::tensor {
+
+/// Element type of a serving-stack tensor. The training tape is fp32
+/// everywhere; dtype exists for the frozen serving path, where compiled
+/// plans may stamp individual GEMMs with a cheaper representation
+/// (per-tensor, not global — one plan can mix precisions per layer).
+enum class DType : uint8_t {
+  kF32 = 0,  ///< 32-bit IEEE float: the reference precision.
+  kI8 = 1,   ///< 8-bit signed integer with affine quantization params.
+};
+
+/// Bytes per element. Buffer planning is byte-granular so that mixed
+/// plans pack int8 scratch next to fp32 activations in one arena.
+inline constexpr int64_t DTypeSize(DType dtype) {
+  return dtype == DType::kI8 ? 1 : 4;
+}
+
+inline constexpr const char* DTypeName(DType dtype) {
+  return dtype == DType::kI8 ? "i8" : "f32";
+}
+
+}  // namespace explainti::tensor
+
+#endif  // EXPLAINTI_TENSOR_DTYPE_H_

@@ -1,0 +1,63 @@
+#include "tensor/quant.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "util/logging.h"
+
+namespace explainti::tensor {
+
+namespace {
+
+/// Symmetric per-column re-quantization into preallocated storage.
+void QuantizeColumns(const float* w, int64_t rows, int64_t cols,
+                     QuantizedMatrix* q) {
+  for (int64_t j = 0; j < cols; ++j) {
+    float amax = 0.0f;
+    for (int64_t r = 0; r < rows; ++r) {
+      amax = std::max(amax, std::fabs(w[r * cols + j]));
+    }
+    // An all-zero column quantizes to zeros under any scale; 1.0 keeps
+    // the dequant multiply finite.
+    const float scale = amax > 0.0f ? amax / 127.0f : 1.0f;
+    const float inv_scale = 1.0f / scale;
+    q->params.scales[static_cast<size_t>(j)] = scale;
+    q->params.zero_points[static_cast<size_t>(j)] = 0;
+    int32_t col_sum = 0;
+    for (int64_t r = 0; r < rows; ++r) {
+      const float scaled = w[r * cols + j] * inv_scale;
+      const int32_t v = static_cast<int32_t>(std::lrintf(scaled));
+      const int8_t clamped =
+          static_cast<int8_t>(std::clamp(v, -127, 127));
+      q->data[static_cast<size_t>(r * cols + j)] = clamped;
+      col_sum += clamped;
+    }
+    q->col_sums[static_cast<size_t>(j)] = col_sum;
+  }
+}
+
+}  // namespace
+
+QuantizedMatrix QuantizeWeightMatrix(const float* w, int64_t rows,
+                                     int64_t cols) {
+  CHECK_GT(rows, 0);
+  CHECK_GT(cols, 0);
+  QuantizedMatrix q;
+  q.rows = rows;
+  q.cols = cols;
+  q.data.resize(static_cast<size_t>(rows * cols));
+  q.params.scales.resize(static_cast<size_t>(cols));
+  q.params.zero_points.resize(static_cast<size_t>(cols));
+  q.col_sums.resize(static_cast<size_t>(cols));
+  QuantizeColumns(w, rows, cols, &q);
+  return q;
+}
+
+void RequantizeWeightMatrix(const float* w, int64_t rows, int64_t cols,
+                            QuantizedMatrix* q) {
+  CHECK_EQ(rows, q->rows) << "re-quantize must preserve the weight shape";
+  CHECK_EQ(cols, q->cols) << "re-quantize must preserve the weight shape";
+  QuantizeColumns(w, rows, cols, q);
+}
+
+}  // namespace explainti::tensor

@@ -1,0 +1,58 @@
+#ifndef EXPLAINTI_TENSOR_QUANT_H_
+#define EXPLAINTI_TENSOR_QUANT_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "tensor/dtype.h"
+
+namespace explainti::tensor {
+
+/// Affine quantization parameters for one int8 tensor, one (scale,
+/// zero_point) pair per channel: real = (q - zero_point) * scale.
+/// Weights quantize symmetrically (zero_point == 0, per output channel);
+/// activations quantize asymmetrically per row at run time.
+struct QuantParams {
+  std::vector<float> scales;
+  std::vector<int32_t> zero_points;
+};
+
+/// An int8 post-training-quantized copy of one fp32 weight matrix
+/// W [rows, cols] (row-major), quantized symmetrically per output
+/// column: scale[j] = max_abs(W[:, j]) / 127, data[r, c] =
+/// round(W[r, c] / scale[c]) clamped to [-127, 127].
+///
+/// `col_sums[j]` caches sum_r data[r, j]; the int8 GEMM's dequant
+/// epilogue needs it to cancel the activation zero-point
+/// (acc - a_zp * col_sum) without a second pass over the weights.
+struct QuantizedMatrix {
+  std::vector<int8_t> data;      ///< [rows, cols] row-major.
+  QuantParams params;            ///< Per column; zero_points all 0.
+  std::vector<int32_t> col_sums; ///< [cols].
+  int64_t rows = 0;
+  int64_t cols = 0;
+
+  /// Bytes this int8 representation occupies (data + scales + zero
+  /// points + column sums) — the numerator of the weight-memory gate.
+  int64_t StorageBytes() const {
+    return static_cast<int64_t>(data.size()) +
+           static_cast<int64_t>(params.scales.size() * sizeof(float)) +
+           static_cast<int64_t>(params.zero_points.size() * sizeof(int32_t)) +
+           static_cast<int64_t>(col_sums.size() * sizeof(int32_t));
+  }
+};
+
+/// Quantizes W [rows, cols] into a fresh QuantizedMatrix.
+QuantizedMatrix QuantizeWeightMatrix(const float* w, int64_t rows,
+                                     int64_t cols);
+
+/// Re-quantizes W into `q`'s existing storage (same shape required).
+/// Rewriting in place keeps every pointer into `q` valid, which is what
+/// lets compiled plans borrow quantized weights across LoadWeights
+/// exactly like they borrow the fp32 parameters.
+void RequantizeWeightMatrix(const float* w, int64_t rows, int64_t cols,
+                            QuantizedMatrix* q);
+
+}  // namespace explainti::tensor
+
+#endif  // EXPLAINTI_TENSOR_QUANT_H_

@@ -3,6 +3,7 @@
 
 #include <cstddef>
 #include <cstdint>
+#include <string>
 #include <vector>
 
 namespace explainti::util {
@@ -25,6 +26,23 @@ inline uint64_t HashBytes(const void* data, size_t n,
     h *= kFnv64Prime;
   }
   return h;
+}
+
+/// Seed of the bag-of-words token featurisers. This is the 64-bit FNV
+/// offset basis with its last decimal digit dropped — a long-fossilised
+/// typo from the first hand-rolled copy of the hasher. It is pinned
+/// deliberately: feature extractors bucket tokens by `hash % dim`, so
+/// "fixing" the constant would silently remap every hashed feature and
+/// invalidate anything trained on them. tests/util_test.cc pins concrete
+/// hash values against accidental drift.
+inline constexpr uint64_t kFnvLegacyTokenBasis = 1469598103934665603ULL;
+
+/// FNV-1a of `token` seeded with the pinned legacy basis — the one shared
+/// implementation behind the bag-of-words featurisers
+/// (baselines/column_features, eval/sufficiency), which previously each
+/// carried their own copy.
+inline uint64_t HashTokenFeature(const std::string& token) {
+  return HashBytes(token.data(), token.size(), kFnvLegacyTokenBasis);
 }
 
 /// Hashes a vector of ints (e.g. a serialised token-id sequence),

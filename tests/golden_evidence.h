@@ -1,0 +1,79 @@
+#ifndef EXPLAINTI_TESTS_GOLDEN_EVIDENCE_H_
+#define EXPLAINTI_TESTS_GOLDEN_EVIDENCE_H_
+
+#include <set>
+#include <string>
+#include <vector>
+
+#include "core/evidence.h"
+#include "core/explain_ti_model.h"
+#include "core/inference_session.h"
+#include "core/task_data.h"
+#include "data/corpus.h"
+#include "data/wiki_generator.h"
+
+namespace explainti::testing {
+
+/// Shared golden explanation-evidence fixture.
+///
+/// One canonical (corpus, config, sample set, window count) consumed by
+/// every suite that scores explanation evidence — the plan-verify tests
+/// and the quantized accuracy gate — so "the paths agree on the golden
+/// evidence" means the same thing everywhere: same tables, same samples,
+/// same top-k windows, same token-set comparison (core/evidence.h).
+
+/// Deterministic generator: same options → same tables, every consumer.
+inline data::TableCorpus GoldenCorpus() {
+  data::WikiTableOptions options;
+  options.num_tables = 28;
+  return data::GenerateWikiTableCorpus(options);
+}
+
+inline core::ExplainTiConfig GoldenConfig() {
+  core::ExplainTiConfig config;
+  config.base_model = "bert";
+  config.sample_size = 4;
+  config.top_k = 3;
+  return config;
+}
+
+/// Local windows counted as "the evidence" of an explanation.
+inline constexpr size_t kGoldenTopWindows = 3;
+
+/// The golden sample ids of one task: a fixed, corpus-order stride so the
+/// set is stable run to run and covers distinct sequence lengths.
+inline std::vector<int> GoldenSampleIds(const core::TaskData& task) {
+  std::vector<int> ids;
+  const int n = static_cast<int>(task.samples.size());
+  for (int id = 0; id < n && static_cast<int>(ids.size()) < 6; id += 3) {
+    ids.push_back(id);
+  }
+  return ids;
+}
+
+/// Evidence token sets for the golden samples of `kind`, one per id.
+inline std::vector<std::set<std::string>> GoldenEvidence(
+    const core::InferenceSession& session, core::TaskKind kind) {
+  std::vector<std::set<std::string>> evidence;
+  for (int id : GoldenSampleIds(session.task_data(kind))) {
+    evidence.push_back(core::TopEvidenceTokens(session.Explain(kind, id),
+                                               kGoldenTopWindows));
+  }
+  return evidence;
+}
+
+/// Mean per-sample Jaccard agreement of two evidence runs.
+inline double MeanEvidenceAgreement(
+    const std::vector<std::set<std::string>>& a,
+    const std::vector<std::set<std::string>>& b) {
+  if (a.size() != b.size() || a.empty()) return 0.0;
+  double total = 0.0;
+  for (size_t i = 0; i < a.size(); ++i) {
+    total += core::EvidenceAgreement(a[i], b[i]);
+  }
+  return total / static_cast<double>(a.size());
+}
+
+}  // namespace explainti::testing
+
+#endif  // EXPLAINTI_TESTS_GOLDEN_EVIDENCE_H_

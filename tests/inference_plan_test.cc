@@ -10,6 +10,7 @@
 #include "core/explain_ti_model.h"
 #include "core/inference_session.h"
 #include "data/wiki_generator.h"
+#include "golden_evidence.h"
 #include "tensor/workspace.h"
 #include "util/alloc_counter.h"
 #include "util/fault_injection.h"
@@ -453,6 +454,58 @@ TEST(InferencePlanTest, SteadyStateRunPlanIsZeroAlloc) {
   EXPECT_EQ(ws_after.buffer_misses, ws_before.buffer_misses)
       << "warmed-up RunPlan missed the workspace buffer pool";
   EXPECT_GT(ws_after.buffer_acquires, ws_before.buffer_acquires);
+}
+
+// -- Golden evidence: every fp32 path tells the same story -----------------
+
+// The shared golden-evidence fixture (tests/golden_evidence.h) pins the
+// explanation evidence across serving configurations: the compiled plan
+// path, the graph walk, and an explicit EXPLAINTI_PRECISION=fp32 session
+// must surface identical top-window token sets on the golden samples.
+// (The quantized gate in quantized_test.cc scores int8 sessions against
+// the same fixture with a tolerance; the fp32 paths get none.)
+TEST(InferencePlanTest, GoldenEvidenceAgreesAcrossFp32Paths) {
+  GlobalPoolGuard guard;
+  util::SetGlobalThreadCount(1);
+  const data::TableCorpus corpus = explainti::testing::GoldenCorpus();
+  auto plan_model = [&] {
+    ScopedEnv env("EXPLAINTI_PLAN", "on");
+    return std::make_unique<ExplainTiModel>(explainti::testing::GoldenConfig(),
+                                            corpus);
+  }();
+  auto graph_model = [&] {
+    ScopedEnv env("EXPLAINTI_PLAN", "off");
+    return std::make_unique<ExplainTiModel>(explainti::testing::GoldenConfig(),
+                                            corpus);
+  }();
+  auto fp32_model = [&] {
+    ScopedEnv plan_env("EXPLAINTI_PLAN", "on");
+    ScopedEnv prec_env("EXPLAINTI_PRECISION", "fp32");
+    return std::make_unique<ExplainTiModel>(explainti::testing::GoldenConfig(),
+                                            corpus);
+  }();
+  plan_model->RefreshStores();
+  graph_model->RefreshStores();
+  fp32_model->RefreshStores();
+  ASSERT_STREQ(fp32_model->session().served_precision(), "fp32");
+
+  for (TaskKind kind : {TaskKind::kType, TaskKind::kRelation}) {
+    if (!plan_model->session().HasTask(kind)) continue;
+    const auto want =
+        explainti::testing::GoldenEvidence(graph_model->session(), kind);
+    ASSERT_FALSE(want.empty());
+    ASSERT_FALSE(want.front().empty()) << "golden sample produced no evidence";
+    const auto from_plan =
+        explainti::testing::GoldenEvidence(plan_model->session(), kind);
+    const auto from_fp32 =
+        explainti::testing::GoldenEvidence(fp32_model->session(), kind);
+    // fp32 paths are bit-identical, so evidence agreement is exact — the
+    // Jaccard tolerance exists only for the quantized tier.
+    EXPECT_EQ(explainti::testing::MeanEvidenceAgreement(want, from_plan), 1.0);
+    EXPECT_EQ(explainti::testing::MeanEvidenceAgreement(want, from_fp32), 1.0);
+    EXPECT_EQ(want, from_plan);
+    EXPECT_EQ(want, from_fp32);
+  }
 }
 
 }  // namespace

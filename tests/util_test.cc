@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "util/hash.h"
 #include "util/logging.h"
 #include "util/rng.h"
 #include "util/status.h"
@@ -272,6 +273,36 @@ TEST(DeadlineTest, LargeFiniteTimeoutStaysFiniteAndUnexpired) {
   EXPECT_NE(deadline, kNoDeadline);
   EXPECT_GT(deadline, MonotonicNowUs());
   EXPECT_FALSE(DeadlineExpired(deadline));
+}
+
+// -- Hashing ----------------------------------------------------------------
+
+// Regression pin for the deduplicated token-feature hash: the legacy
+// basis (the standard FNV offset basis missing its last decimal digit)
+// is load-bearing — feature extractors bucket tokens by hash % dim, so
+// any change to the constant, the prime, or the byte order silently
+// remaps every bag-of-words feature. These values were computed from the
+// original hand-rolled HashToken copies in baselines/column_features.cc
+// and eval/sufficiency.cc before they were unified onto util/hash.h.
+TEST(HashTest, TokenFeatureHashValuesArePinned) {
+  EXPECT_EQ(kFnvLegacyTokenBasis, 1469598103934665603ULL);
+  EXPECT_EQ(HashTokenFeature(""), 1469598103934665603ULL);
+  EXPECT_EQ(HashTokenFeature("table"), 13393877952257101349ULL);
+  EXPECT_EQ(HashTokenFeature("column"), 1316202627445698569ULL);
+  EXPECT_EQ(HashTokenFeature("year"), 6985392534289057094ULL);
+  EXPECT_EQ(HashTokenFeature("2019"), 10370843403781473091ULL);
+  EXPECT_EQ(HashTokenFeature("header_row"), 11507890926133322981ULL);
+  // Bucketing at a typical feature dim, as the extractors consume it.
+  EXPECT_EQ(HashTokenFeature("table") % 512, 37u);
+  EXPECT_EQ(HashTokenFeature("column") % 512, 9u);
+}
+
+// The legacy basis is distinct from the content-hash basis used for
+// serving-cache keys; the two must never be merged "for cleanliness".
+TEST(HashTest, LegacyBasisDiffersFromStandardFnvBasis) {
+  EXPECT_NE(kFnvLegacyTokenBasis, kFnv64OffsetBasis);
+  EXPECT_NE(HashTokenFeature("table"),
+            HashBytes("table", 5, kFnv64OffsetBasis));
 }
 
 }  // namespace
