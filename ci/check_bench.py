@@ -26,6 +26,25 @@ bench_quantized) is gated on:
   * int8 GEMM throughput >= 2x fp32 — armed on hosts with >= 4 hardware
     threads (shared 1-thread containers time both kernels too noisily).
 
+A file with a "qa" object (BENCH_qa.json, from bench_qa) is gated on:
+
+  * min_oracle_agreement >= 0.999 — composing an answer through QaEngine
+    must reproduce the direct InferenceSession::Predict oracle exactly on
+    the teacher path (composition changes provenance, never labels);
+  * min_surrogate_agreement >= 0.85 — the explanation-distilled surrogate
+    must agree with the teacher's answers on both corpora, or the cheap
+    tier is answering with different semantics;
+  * escalation-rate sanity: every cascade point's rate lies in [0, 1] and
+    rates are non-decreasing in the confidence threshold (a higher bar
+    can only escalate more);
+  * surrogate scoring performed exactly zero heap allocations per call
+    after warm-up;
+  * composed-justification coverage >= its constituent coverage —
+    composition must not dilute evidence (deterministic, always armed);
+  * surrogate per-table scoring >= 2x cheaper than teacher
+    PredictProbabilities p50 — armed on hosts with >= 4 hardware threads
+    (1-thread containers time both paths too noisily).
+
 A file with a "peak_speedup_vs_sequential" member (BENCH_serving.json,
 from bench_online_simulation) is gated on batched serving beating the
 sequential baseline by >= 1.5x at peak offered load, armed from the
@@ -163,6 +182,94 @@ def check_quantized(bench):
     return 0
 
 
+def check_qa(bench):
+    """Gates the BENCH_qa.json 'qa' object; returns 0/1."""
+    q = bench["qa"]
+    failures = []
+
+    for row in q.get("accuracy", []):
+        print(f"qa {row['corpus']}/{row['task']}: "
+              f"oracle {row['oracle_agreement']:.3f}, "
+              f"teacher F1 {row['teacher_f1']:.3f}, "
+              f"surrogate F1 {row['surrogate_f1']:.3f}, "
+              f"agreement {row['surrogate_agreement']:.3f}")
+    points = q.get("cascade", [])
+    for point in points:
+        print(f"cascade @{point['threshold']:.2f}: "
+              f"p50 {point['p50_us']:.1f}us p99 {point['p99_us']:.1f}us, "
+              f"escalation {point['escalation_rate']:.3f}")
+    tiers = q.get("tiers", {})
+    print(f"per-table scoring: surrogate p50 "
+          f"{tiers.get('surrogate_score_p50_us', 0.0):.1f}us vs teacher p50 "
+          f"{tiers.get('teacher_predict_p50_us', 0.0):.1f}us "
+          f"({tiers.get('surrogate_speedup', 0.0):.1f}x)")
+    coverage = q.get("coverage", {})
+    print(f"coverage: constituent {coverage.get('constituent', 0.0):.3f}, "
+          f"composed {coverage.get('composed', 0.0):.3f} over "
+          f"{coverage.get('items', 0)} items; judge evidence coverage "
+          f"{coverage.get('judge_evidence_coverage', 0.0):.3f}")
+
+    if q.get("min_oracle_agreement", 0.0) < 0.999:
+        failures.append(
+            f"teacher-path answer agreement with the direct-prediction "
+            f"oracle is {q.get('min_oracle_agreement', 0.0):.3f} (must be "
+            f"exact: composition changes provenance, never labels)")
+    if q.get("min_surrogate_agreement", 0.0) < 0.85:
+        failures.append(
+            f"surrogate-vs-teacher answer agreement "
+            f"{q.get('min_surrogate_agreement', 0.0):.3f} below the 0.85 "
+            f"floor — the cheap tier is answering with different semantics")
+    if not points:
+        failures.append("'cascade' array is empty")
+    previous_rate = 0.0
+    for point in points:
+        rate = point.get("escalation_rate", -1.0)
+        if not 0.0 <= rate <= 1.0:
+            failures.append(
+                f"cascade @{point.get('threshold')}: escalation rate {rate} "
+                f"outside [0, 1]")
+        elif rate + 1e-9 < previous_rate:
+            failures.append(
+                f"cascade @{point.get('threshold')}: escalation rate {rate} "
+                f"decreased as the confidence threshold rose")
+        else:
+            previous_rate = rate
+    scoring = q.get("surrogate_scoring", {})
+    if scoring.get("allocations_per_call", 1) != 0:
+        failures.append(
+            f"surrogate scoring allocates "
+            f"{scoring.get('allocations_per_call')}/call after warm-up "
+            f"(must be exactly 0)")
+    if coverage.get("composed", 0.0) + 1e-9 < coverage.get("constituent", 1.0):
+        failures.append(
+            f"composed-justification coverage "
+            f"{coverage.get('composed', 0.0):.3f} regressed below its "
+            f"constituent coverage {coverage.get('constituent', 1.0):.3f} — "
+            f"composition diluted the evidence")
+
+    threads = host_threads(bench)
+    if threads >= 4:
+        if tiers.get("surrogate_speedup", 0.0) < 2.0:
+            failures.append(
+                f"surrogate per-table scoring only "
+                f"{tiers.get('surrogate_speedup', 0.0):.2f}x cheaper than "
+                f"the teacher on a {threads}-thread host (needs >= 2x to "
+                f"justify the tier)")
+    else:
+        print(f"SKIPPED: surrogate >= 2x scoring-cost gate (host has "
+              f"{threads} hardware thread(s); needs >= 4 for stable timing)")
+
+    if failures:
+        print("\ncheck_bench: FAIL", file=sys.stderr)
+        for failure in failures:
+            print(f"  - {failure}", file=sys.stderr)
+        return 1
+    print("\ncheck_bench: OK — QA composition oracle-exact, surrogate "
+          "agreement above floor, scoring allocation-free, coverage "
+          "undiluted")
+    return 0
+
+
 def check_serving(bench):
     """Gates BENCH_serving.json's peak batched speedup; returns 0/1."""
     speedup = bench.get("peak_speedup_vs_sequential")
@@ -270,6 +377,9 @@ def main():
 
     if "quantized" in bench:
         return check_quantized(bench)
+
+    if "qa" in bench:
+        return check_qa(bench)
 
     if "peak_speedup_vs_sequential" in bench:
         return check_serving(bench)

@@ -97,6 +97,17 @@ case "$JOB" in
     echo "BENCH_quantized.json:"
     cat "$BUILD/BENCH_quantized.json"
     python3 "$ROOT/ci/check_bench.py" "$BUILD/BENCH_quantized.json"
+    # Table-QA benchmark: teacher-path answers vs the direct-prediction
+    # oracle (must be exact), surrogate-vs-teacher agreement on both
+    # corpora, cascade latency/escalation at three thresholds, the
+    # allocation-free surrogate scoring path, and composed-justification
+    # judge coverage. check_bench.py gates agreement floors, escalation
+    # monotonicity, the exactly-0 alloc count, and (on >=4-thread hosts)
+    # the 2x surrogate scoring advantage.
+    (cd "$BUILD" && ./bench/bench_qa)
+    echo "BENCH_qa.json:"
+    cat "$BUILD/BENCH_qa.json"
+    python3 "$ROOT/ci/check_bench.py" "$BUILD/BENCH_qa.json"
     # Consolidate every benchmark JSON into one artifact bundle. The
     # release artifacts are incomplete without all of them, so a missing
     # file fails the job rather than silently uploading a partial set.
@@ -105,7 +116,7 @@ case "$JOB" in
     mkdir -p "$BUNDLE"
     for bench_json in BENCH_parallel.json BENCH_inference.json \
                       BENCH_store.json BENCH_serving.json \
-                      BENCH_quantized.json; do
+                      BENCH_quantized.json BENCH_qa.json; do
       if [ ! -f "$BUILD/$bench_json" ]; then
         echo "$bench_json missing from release artifacts" >&2
         exit 1

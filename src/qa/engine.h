@@ -1,0 +1,104 @@
+#ifndef EXPLAINTI_QA_ENGINE_H_
+#define EXPLAINTI_QA_ENGINE_H_
+
+#include <atomic>
+#include <memory>
+#include <mutex>
+
+#include "core/inference_session.h"
+#include "qa/query.h"
+#include "qa/surrogate.h"
+#include "util/status.h"
+
+namespace explainti::qa {
+
+/// Validates `query` against `session`: known kind, present task, in-range
+/// candidate ids, canonical label_id/top_k for the kind. Shared by the
+/// engine and by serve admission (which rejects bad queries before they
+/// cost a batch slot).
+util::Status ValidateQuery(const core::InferenceSession& session,
+                           const QaQuery& query);
+
+/// Table-QA composition engine plus cascade router over one frozen
+/// session.
+///
+/// Answer() plans a query into the minimal set of session calls — one
+/// PredictProbabilities per candidate (stage 1), one Explain per selected
+/// answer entry (stage 2) — composes the QaAnswer, and assembles the
+/// QaJustification from the teacher's LE/GE/SE views (or surrogate
+/// saliency) with per-step provenance.
+///
+/// Cascade: when `options.enable_surrogate` is set, construction distils
+/// one SurrogateModel per served task and stage 1 scores candidates there
+/// first; scores at or above `options.confidence_threshold` are answered
+/// at the surrogate tier, the rest escalate to the teacher. Fail-closed:
+/// a distillation failure (or the "qa.surrogate_build" fault) keeps the
+/// engine teacher-only with a typed surrogate_status(); a scoring failure
+/// (or "qa.surrogate_score") abandons the partial cascade answer, trips
+/// the surrogate permanently, and recomposes the SAME query teacher-only
+/// — so a faulted engine's answers are bit-identical to a cascade-off
+/// build, never wrong or partial. The "qa.compose" fault site fails the
+/// whole Answer() with a typed error before any work.
+///
+/// Thread-safe after construction: Answer() is const, the trip latch is
+/// atomic, and the underlying session is already concurrent.
+class QaEngine {
+ public:
+  /// `session` is borrowed and must outlive the engine (under serve each
+  /// generation owns both, so they retire together).
+  QaEngine(const core::InferenceSession* session, const QaOptions& options);
+
+  QaEngine(const QaEngine&) = delete;
+  QaEngine& operator=(const QaEngine&) = delete;
+
+  /// Answers `query` at the configured confidence threshold.
+  util::StatusOr<QaAnswer> Answer(const QaQuery& query) const;
+
+  /// Answer with an explicit escalation threshold (bench threshold
+  /// sweeps); cascade semantics otherwise identical to Answer().
+  util::StatusOr<QaAnswer> AnswerWithThreshold(const QaQuery& query,
+                                               float threshold) const;
+
+  /// True while the surrogate tier is armed, built, and not tripped.
+  bool surrogate_active() const;
+
+  /// OK while healthy (or disabled by options); the typed build/score
+  /// failure that routed the cascade 100% to the teacher otherwise.
+  util::Status surrogate_status() const;
+
+  /// The distilled surrogate for `kind`, or null (disabled, failed, or
+  /// task absent). For bench agreement sweeps and tests; Answer() owns
+  /// routing.
+  const SurrogateModel* surrogate(core::TaskKind kind) const;
+
+  const QaOptions& options() const { return options_; }
+  const core::InferenceSession& session() const { return *session_; }
+
+ private:
+  /// Composes the full answer. With `use_surrogate`, stage 1 scores
+  /// through the surrogate and escalates below `threshold`; any surrogate
+  /// scoring error aborts composition (the caller trips the latch and
+  /// recomposes teacher-only).
+  util::StatusOr<QaAnswer> Compose(const QaQuery& query, bool use_surrogate,
+                                   float threshold) const;
+
+  /// Records `status` and flips the trip latch (idempotent; first error
+  /// wins so the status names the root cause).
+  void TripSurrogate(const util::Status& status) const;
+
+  const core::InferenceSession* session_;
+  QaOptions options_;
+  std::unique_ptr<SurrogateModel> type_surrogate_;
+  std::unique_ptr<SurrogateModel> relation_surrogate_;
+  /// Sticky fail-closed latch: set on the first scoring failure, checked
+  /// before every cascade attempt.
+  mutable std::atomic<bool> tripped_{false};
+  mutable std::mutex status_mu_;
+  /// Guarded by status_mu_ after the ctor; mutable because a scoring
+  /// fault during a const Answer() must record its typed root cause.
+  mutable util::Status surrogate_status_;
+};
+
+}  // namespace explainti::qa
+
+#endif  // EXPLAINTI_QA_ENGINE_H_

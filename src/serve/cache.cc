@@ -32,7 +32,7 @@ ResponseCache::Shard& ResponseCache::ShardFor(const Key& key) {
 }
 
 bool ResponseCache::Lookup(const Key& key, const text::EncodedSequence& input,
-                           ServeResponse* out) {
+                           const qa::QaQuery* query, ServeResponse* out) {
   // A faulted cache must degrade to recomputation, never wrong data:
   // report a miss and let the request take the normal batched path.
   if (util::fault::ShouldInject("serve.cache.lookup",
@@ -52,11 +52,22 @@ bool ResponseCache::Lookup(const Key& key, const text::EncodedSequence& input,
     misses_.fetch_add(1, std::memory_order_relaxed);
     return false;
   }
+  // QA entries additionally verify the stored query: the verified input
+  // covers only the primary candidate's sequence, so two queries over the
+  // same table (different candidate sets, target label, or top_k) must
+  // compare the query itself before an answer is shared.
+  if (key.method == ServeMethod::kQaAnswer &&
+      (query == nullptr || !it->second->second.has_query ||
+       !qa::SameQuery(it->second->second.qa_query, *query))) {
+    misses_.fetch_add(1, std::memory_order_relaxed);
+    return false;
+  }
   shard.lru.splice(shard.lru.begin(), shard.lru, it->second);  // Promote.
   const Payload& payload = it->second->second;
   out->labels = payload.labels;
   out->probabilities = payload.probabilities;
   out->explanation = payload.explanation;
+  out->qa = payload.qa;
   out->model_generation = payload.model_generation;
   out->cache_hit = true;
   hits_.fetch_add(1, std::memory_order_relaxed);
@@ -64,14 +75,22 @@ bool ResponseCache::Lookup(const Key& key, const text::EncodedSequence& input,
 }
 
 void ResponseCache::Insert(const Key& key, const text::EncodedSequence& input,
+                           const qa::QaQuery* query,
                            const ServeResponse& response) {
   CHECK(response.status.ok()) << "only OK responses are cacheable";
+  CHECK(key.method != ServeMethod::kQaAnswer || query != nullptr)
+      << "QA cache entries require the answered query";
   Payload payload;
   payload.input_ids = input.ids;
   payload.input_segments = input.segments;
   payload.labels = response.labels;
   payload.probabilities = response.probabilities;
   payload.explanation = response.explanation;
+  payload.qa = response.qa;
+  if (query != nullptr) {
+    payload.qa_query = *query;
+    payload.has_query = true;
+  }
   payload.model_generation = response.model_generation;
 
   Shard& shard = ShardFor(key);

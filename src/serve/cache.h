@@ -74,22 +74,38 @@ class ResponseCache {
   ResponseCache& operator=(const ResponseCache&) = delete;
 
   /// On a hit, copies the cached payload (labels / probabilities /
-  /// explanation + model_generation) into `*out`, marks it cache_hit,
-  /// promotes the entry to most-recently-used, and returns true. A hit
-  /// requires the stored input to equal `input` (ids + segments)
-  /// exactly; a key whose hash matches but whose content differs — a
-  /// collision — reports a miss. Also returns false on a plain miss and
-  /// when the "serve.cache.lookup" fault fires, leaving `*out` untouched.
+  /// explanation / qa answer + model_generation) into `*out`, marks it
+  /// cache_hit, promotes the entry to most-recently-used, and returns
+  /// true. A hit requires the stored input to equal `input` (ids +
+  /// segments) exactly; a key whose hash matches but whose content
+  /// differs — a collision — reports a miss. For kQaAnswer entries the
+  /// stored query must also equal `*query` (kind, candidates, label,
+  /// top_k): the key folds the query into input_hash, but a 64-bit hash
+  /// alone never selects a payload, and the verified input covers only
+  /// the primary candidate — so a QA entry can never answer a different
+  /// query, nor collide with an Explain entry for the same table (the
+  /// method is part of the key AND a QA lookup without a stored query is
+  /// a miss). Also returns false on a plain miss and when the
+  /// "serve.cache.lookup" fault fires, leaving `*out` untouched.
   bool Lookup(const Key& key, const text::EncodedSequence& input,
-              ServeResponse* out);
+              ServeResponse* out) {
+    return Lookup(key, input, /*query=*/nullptr, out);
+  }
+  bool Lookup(const Key& key, const text::EncodedSequence& input,
+              const qa::QaQuery* query, ServeResponse* out);
 
   /// Inserts (or refreshes) the payload of `response` under `key`,
   /// storing `input` for hit-time verification and evicting the shard's
-  /// LRU entry at capacity. `key.input_hash` must be the hash of `input`.
-  /// Only OK responses are cacheable; callers must not insert
-  /// rejected/shed responses.
+  /// LRU entry at capacity. `key.input_hash` must be the hash of `input`
+  /// (plus the query, for kQaAnswer). Pass the request's query for QA
+  /// entries; it is stored for hit-time verification. Only OK responses
+  /// are cacheable; callers must not insert rejected/shed responses.
   void Insert(const Key& key, const text::EncodedSequence& input,
-              const ServeResponse& response);
+              const ServeResponse& response) {
+    Insert(key, input, /*query=*/nullptr, response);
+  }
+  void Insert(const Key& key, const text::EncodedSequence& input,
+              const qa::QaQuery* query, const ServeResponse& response);
 
   /// Drops every entry (model hot-swap invalidation). Hit/miss/eviction
   /// counters survive — they describe the cache's lifetime, not one
@@ -117,6 +133,13 @@ class ResponseCache {
     std::vector<int> labels;
     std::vector<float> probabilities;
     core::Explanation explanation;
+    /// kQaAnswer entries: the full composed answer, plus the query it
+    /// answered (compared with SameQuery on Lookup) and a flag marking
+    /// that a query was stored at all — an entry inserted without one can
+    /// never satisfy a QA lookup.
+    qa::QaAnswer qa;
+    qa::QaQuery qa_query;
+    bool has_query = false;
     uint64_t model_generation = 0;
   };
   struct KeyHash {

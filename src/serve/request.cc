@@ -10,6 +10,8 @@ const char* ServeMethodName(ServeMethod method) {
       return "PredictProbabilities";
     case ServeMethod::kExplain:
       return "Explain";
+    case ServeMethod::kQaAnswer:
+      return "QaAnswer";
   }
   return "Unknown";
 }

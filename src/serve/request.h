@@ -7,6 +7,7 @@
 
 #include "core/explanation.h"
 #include "core/task_data.h"
+#include "qa/query.h"
 #include "util/status.h"
 #include "util/timer.h"
 
@@ -20,6 +21,10 @@ enum class ServeMethod {
   kPredict = 0,              ///< Label ids only (cheapest).
   kPredictProbabilities = 1, ///< Per-label sigma outputs.
   kExplain = 2,              ///< Prediction + multi-view explanation set Z.
+  /// Structured table-QA: plans the request's qa::QaQuery into session
+  /// calls (surrogate-cascaded when the server arms it) and answers with
+  /// a provenance-tagged qa::QaAnswer. Requires ServerOptions::qa.enabled.
+  kQaAnswer = 3,
 };
 
 /// Short human-readable name for `method` (e.g. "Predict").
@@ -59,6 +64,10 @@ struct ServeRequest {
   ServeMethod method = ServeMethod::kPredict;
   core::TaskKind task = core::TaskKind::kType;
   int sample_id = -1;
+  /// kQaAnswer only: the structured query. Submit derives `task` from the
+  /// query kind and `sample_id` from its first candidate, so QA requests
+  /// flow through the same admission/batching/quota machinery.
+  qa::QaQuery qa;
   /// Caller-chosen id echoed in the response, for request tracing across
   /// queue/batch/worker boundaries.
   uint64_t trace_id = 0;
@@ -81,6 +90,9 @@ struct ServeResponse {
   /// kExplain: the full multi-view set, including the per-request ANN
   /// degradation flag/note — batching never strips the annotation.
   core::Explanation explanation;
+  /// kQaAnswer: the composed answer with its provenance-tagged
+  /// justification and cascade telemetry.
+  qa::QaAnswer qa;
 
   // Serving telemetry, filled for completed (non-rejected) requests.
   int64_t queue_wait_us = 0;  ///< Admission to batch dispatch.

@@ -26,6 +26,13 @@ InferenceServer::InferenceServer(const core::InferenceSession& session,
   CHECK(options_.num_workers >= 0) << "num_workers must be >= 0";
   current_ = std::make_shared<Generation>();
   current_->session = &session;
+  if (options_.qa.enabled) {
+    // The engine is fail-closed internally: a surrogate distillation
+    // failure leaves it serving teacher-only with a typed status, so QA
+    // serving always comes up when asked for.
+    current_->qa_engine =
+        std::make_unique<qa::QaEngine>(&session, options_.qa.options);
+  }
   current_->id = 1;
   // Cumulative across generations: bumped once per installed session by
   // its calibrated per-layer fp32-fallback count, so a fleet scrape sees
@@ -78,6 +85,15 @@ util::Status InferenceServer::Submit(ServeRequest request,
     }
   }
 
+  // QA requests address samples through their query; derive the batching
+  // coordinates (task, primary sample) here so the request rides the same
+  // coalescing, deadline, and priority machinery as every other method.
+  if (request.method == ServeMethod::kQaAnswer) {
+    request.task = qa::QaTaskOf(request.qa.kind);
+    request.sample_id =
+        request.qa.sample_ids.empty() ? -1 : request.qa.sample_ids.front();
+  }
+
   PendingRequest pending;
   pending.request = request;
   pending.on_done = std::move(on_done);
@@ -94,7 +110,36 @@ util::Status InferenceServer::Submit(ServeRequest request,
   {
     std::shared_ptr<Generation> generation = PinGeneration();
     const core::InferenceSession& session = *generation->session;
-    if (!session.HasTask(request.task)) {
+    if (request.method == ServeMethod::kQaAnswer) {
+      if (!options_.qa.enabled) {
+        valid = util::Status::InvalidArgument(
+            "QA serving is not enabled on this server");
+      } else {
+        valid = qa::ValidateQuery(session, request.qa);
+      }
+      if (valid.ok() && cache_ != nullptr) {
+        // QA cache key: the query's parameters plus the serialised
+        // content of EVERY candidate — two queries differing in any
+        // candidate, target label, or top_k can never share a key, and
+        // the method field already separates QA entries from an Explain
+        // entry over the same table.
+        const core::TaskData& task = session.task_data(request.task);
+        uint64_t hash = util::HashInts(
+            {static_cast<int>(request.qa.kind), request.qa.label_id,
+             request.qa.top_k});
+        for (int id : request.qa.sample_ids) {
+          const text::EncodedSequence& seq =
+              task.samples[static_cast<size_t>(id)].seq;
+          hash = util::HashInts(seq.ids, hash);
+          hash = util::HashInts(seq.segments, hash);
+        }
+        pending.input_hash = hash;
+        cache_hit = cache_->Lookup(
+            {request.method, request.task, hash},
+            task.samples[static_cast<size_t>(request.sample_id)].seq,
+            &request.qa, &hit);
+      }
+    } else if (!session.HasTask(request.task)) {
       valid = util::Status::InvalidArgument("task not available on this model");
     } else {
       const core::TaskData& task = session.task_data(request.task);
@@ -129,6 +174,12 @@ util::Status InferenceServer::Submit(ServeRequest request,
     if (Counter* c = TenantCounter(request.tenant_id, "accepted")) {
       c->Increment();
     }
+    if (request.method == ServeMethod::kQaAnswer) {
+      metrics_->GetCounter("serve.qa_accepted")->Increment();
+      if (Counter* c = TenantCounter(request.tenant_id, "qa_accepted")) {
+        c->Increment();
+      }
+    }
     hit.status = util::Status::OK();
     hit.trace_id = request.trace_id;
     pending.on_done(std::move(hit));
@@ -141,6 +192,15 @@ util::Status InferenceServer::Submit(ServeRequest request,
     metrics_->GetCounter("serve.accepted")->Increment();
     if (Counter* c = TenantCounter(request.tenant_id, "accepted")) {
       c->Increment();
+    }
+    if (request.method == ServeMethod::kQaAnswer) {
+      // QA traffic is separately visible per tenant: the method costs a
+      // whole query plan per request, so quota debugging needs to see who
+      // sends it.
+      metrics_->GetCounter("serve.qa_accepted")->Increment();
+      if (Counter* c = TenantCounter(request.tenant_id, "qa_accepted")) {
+        c->Increment();
+      }
     }
   } else if (admitted.code() == util::StatusCode::kResourceExhausted) {
     metrics_->GetCounter("serve.rejected_queue_full")->Increment();
@@ -202,6 +262,11 @@ uint64_t InferenceServer::current_generation() const {
   return current_->id;
 }
 
+const qa::QaEngine* InferenceServer::qa_engine() const {
+  std::lock_guard<std::mutex> lock(gen_mu_);
+  return current_->qa_engine.get();
+}
+
 util::Status InferenceServer::SwapSession(const core::InferenceSession& next) {
   // One rollout at a time; a swap racing Shutdown is refused rather than
   // left waiting on workers that are exiting.
@@ -219,6 +284,14 @@ util::Status InferenceServer::SwapSession(const core::InferenceSession& next) {
 
   std::shared_ptr<Generation> next_gen = std::make_shared<Generation>();
   next_gen->session = &next;
+  if (options_.qa.enabled) {
+    // Build the replacement QA engine (including surrogate distillation,
+    // the expensive part) BEFORE the atomic redirect: the old generation
+    // keeps answering QA traffic for the whole build, and a distillation
+    // failure fail-closes inside the engine rather than failing the swap.
+    next_gen->qa_engine =
+        std::make_unique<qa::QaEngine>(&next, options_.qa.options);
+  }
 
   std::unique_lock<std::mutex> lock(gen_mu_);
   std::shared_ptr<Generation> old = current_;
@@ -298,7 +371,7 @@ void InferenceServer::WorkerLoop() {
     // the pointer first and then waits for this pin to release.
     std::shared_ptr<Generation> generation = PinGeneration();
     ExecuteBatch(*generation->session, batch, metrics_, cache_.get(),
-                 generation->id);
+                 generation->id, generation->qa_engine.get());
     UnpinGeneration(generation);
   }
 }
@@ -322,7 +395,8 @@ void InferenceServer::FailExpired(std::vector<PendingRequest>& expired,
 void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
                                    std::vector<PendingRequest>& batch,
                                    MetricsRegistry* metrics,
-                                   ResponseCache* cache, uint64_t generation) {
+                                   ResponseCache* cache, uint64_t generation,
+                                   const qa::QaEngine* qa_engine) {
   if (batch.empty()) return;
   // Chaos site: an armed "serve.dispatch" fault fails the whole batch
   // with its injected status (modelling a backend executor crash) —
@@ -356,8 +430,20 @@ void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
   size_t keep = 0;
   for (size_t i = 0; i < batch.size(); ++i) {
     PendingRequest& pending = batch[i];
-    if (pending.request.sample_id >= 0 &&
-        pending.request.sample_id < num_samples) {
+    bool in_range = pending.request.sample_id >= 0 &&
+                    pending.request.sample_id < num_samples;
+    if (method == ServeMethod::kQaAnswer && in_range) {
+      // A QA request ranges over EVERY candidate in its query, not just
+      // the primary sample the batcher coalesced it by — a swap that
+      // shrank the sample set must invalidate the whole query.
+      for (int id : pending.request.qa.sample_ids) {
+        if (id < 0 || id >= num_samples) {
+          in_range = false;
+          break;
+        }
+      }
+    }
+    if (in_range) {
       if (keep != i) batch[keep] = std::move(pending);
       ++keep;
       continue;
@@ -430,6 +516,57 @@ void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
       }
       break;
     }
+    case ServeMethod::kQaAnswer: {
+      // Each query is planned and answered individually: a malformed or
+      // faulted query completes alone with its typed status — the rest of
+      // the batch (and the callback-exactly-once guarantee) is untouched.
+      Histogram* surrogate_us = nullptr;
+      Histogram* teacher_us = nullptr;
+      if (metrics != nullptr) {
+        surrogate_us = metrics->GetHistogram("qa.surrogate_us",
+                                             Histogram::LatencyBucketsUs());
+        teacher_us = metrics->GetHistogram("qa.teacher_us",
+                                           Histogram::LatencyBucketsUs());
+      }
+      for (size_t i = 0; i < batch.size(); ++i) {
+        if (qa_engine == nullptr) {
+          responses[i].status = util::Status::FailedPrecondition(
+              "QA serving is not enabled on this server");
+          continue;
+        }
+        const int64_t start_us = util::MonotonicNowUs();
+        util::StatusOr<qa::QaAnswer> answer =
+            qa_engine->Answer(batch[i].request.qa);
+        const int64_t elapsed_us = util::MonotonicNowUs() - start_us;
+        if (!answer.ok()) {
+          responses[i].status = answer.status();
+          if (metrics != nullptr) {
+            metrics->GetCounter("qa.failed")->Increment();
+          }
+          continue;
+        }
+        responses[i].qa = std::move(answer).value();
+        if (metrics != nullptr) {
+          const qa::QaAnswer& composed = responses[i].qa;
+          const int64_t total_steps =
+              static_cast<int64_t>(composed.justification.steps.size());
+          metrics->GetCounter("qa.answered")->Increment();
+          metrics->GetCounter("qa.surrogate_answered")
+              ->Increment(composed.surrogate_steps);
+          metrics->GetCounter("qa.escalated")
+              ->Increment(composed.escalated_steps);
+          // Per-tier latency: an answer composed entirely at the
+          // surrogate tier is the cheap path the cascade exists for;
+          // anything that touched the teacher is teacher-tier cost.
+          if (total_steps > 0 && composed.surrogate_steps == total_steps) {
+            surrogate_us->Record(elapsed_us);
+          } else {
+            teacher_us->Record(elapsed_us);
+          }
+        }
+      }
+      break;
+    }
   }
 
   const int64_t done_us = util::MonotonicNowUs();
@@ -451,7 +588,9 @@ void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
   for (size_t i = 0; i < batch.size(); ++i) {
     PendingRequest& pending = batch[i];
     ServeResponse& response = responses[i];
-    response.status = util::Status::OK();
+    // A per-entry failure (QA dispatch) keeps its typed status; everything
+    // else completes OK (the default-constructed status).
+    const bool entry_ok = response.status.ok();
     response.trace_id = pending.request.trace_id;
     response.queue_wait_us = dispatch_us - pending.request.arrival_us;
     response.total_us = done_us - pending.request.arrival_us;
@@ -460,14 +599,18 @@ void InferenceServer::ExecuteBatch(const core::InferenceSession& session,
     response.precision = session.served_precision();
     if (queue_wait != nullptr) queue_wait->Record(response.queue_wait_us);
     if (e2e != nullptr) e2e->Record(response.total_us);
-    if (cache != nullptr && pending.input_hash != 0) {
+    if (entry_ok && cache != nullptr && pending.input_hash != 0) {
       // Stores the executing generation's input alongside the payload:
       // a later lookup whose content differs (hash collision, or a swap
       // between hashing and execution) verify-misses instead of being
-      // served this entry.
+      // served this entry. Failed entries are never cached. QA entries
+      // store their query too, for hit-time verification.
       cache->Insert(
           {pending.request.method, pending.request.task, pending.input_hash},
           session.task_data(task).samples[pending.request.sample_id].seq,
+          pending.request.method == ServeMethod::kQaAnswer
+              ? &pending.request.qa
+              : nullptr,
           response);
     }
     pending.on_done(std::move(response));

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/inference_session.h"
+#include "qa/engine.h"
 #include "serve/batcher.h"
 #include "serve/cache.h"
 #include "serve/metrics.h"
@@ -17,6 +18,17 @@
 #include "util/status.h"
 
 namespace explainti::serve {
+
+/// Table-QA serving: when enabled the server builds one qa::QaEngine per
+/// generation (the surrogate, when armed in `options`, is distilled from
+/// that generation's session — a hot-swap re-distils from the replacement
+/// BEFORE the atomic redirect, so the old generation serves throughout)
+/// and accepts ServeMethod::kQaAnswer requests. Disabled by default: QA
+/// requests are rejected with kInvalidArgument at admission.
+struct QaServeOptions {
+  bool enabled = false;
+  qa::QaOptions options;
+};
 
 /// Server shape: worker count plus the admission/batching/caching knobs.
 struct ServerOptions {
@@ -32,6 +44,8 @@ struct ServerOptions {
   /// Borrowed; must outlive the server, with all tenants registered
   /// before traffic starts.
   TenantRegistry* tenants = nullptr;
+  /// Table-QA method + surrogate cascade (see QaServeOptions).
+  QaServeOptions qa;
 };
 
 /// Dynamic micro-batching inference server over frozen
@@ -134,6 +148,10 @@ class InferenceServer {
   const MicroBatcher& batcher() const { return batcher_; }
   /// Null when the cache is disabled.
   const ResponseCache* cache() const { return cache_.get(); }
+  /// The current generation's QA engine (for tests and cascade telemetry
+  /// inspection); null when ServerOptions::qa is off. Borrowed — valid
+  /// until the next successful SwapSession retires the generation.
+  const qa::QaEngine* qa_engine() const;
   const ServerOptions& options() const { return options_; }
 
   /// Executes one coalesced batch (all entries batch-compatible) against
@@ -147,12 +165,24 @@ class InferenceServer {
                  /*generation=*/0);
   }
 
-  /// Full form: also stamps `generation` into each response and inserts
-  /// OK results into `cache` (both optional).
+  /// Also stamps `generation` into each response and inserts OK results
+  /// into `cache` (both optional).
   static void ExecuteBatch(const core::InferenceSession& session,
                            std::vector<PendingRequest>& batch,
                            MetricsRegistry* metrics, ResponseCache* cache,
-                           uint64_t generation);
+                           uint64_t generation) {
+    ExecuteBatch(session, batch, metrics, cache, generation,
+                 /*qa_engine=*/nullptr);
+  }
+
+  /// Full form: `qa_engine` answers kQaAnswer entries (each completed
+  /// individually — one bad query fails alone with a typed status, never
+  /// the batch). Null rejects QA entries with kFailedPrecondition.
+  static void ExecuteBatch(const core::InferenceSession& session,
+                           std::vector<PendingRequest>& batch,
+                           MetricsRegistry* metrics, ResponseCache* cache,
+                           uint64_t generation,
+                           const qa::QaEngine* qa_engine);
 
   /// Completes `expired` requests with kDeadlineExceeded (no compute).
   /// `metrics` may be null.
@@ -166,6 +196,9 @@ class InferenceServer {
   /// zero before declaring the old generation drained.
   struct Generation {
     const core::InferenceSession* session = nullptr;
+    /// Per-generation QA engine (null when ServerOptions::qa is off); its
+    /// surrogate is distilled from `session`, so it retires with it.
+    std::unique_ptr<qa::QaEngine> qa_engine;
     uint64_t id = 0;
     std::atomic<int64_t> in_flight{0};
   };

@@ -1,0 +1,277 @@
+// Chaos harness for the table-QA cascade: the three QA fault sites —
+// qa.surrogate_build (distillation), qa.surrogate_score (first-tier
+// inference), qa.compose (answer assembly) — are armed in turn under
+// live traffic, including mid-hot-swap. Every failure must degrade to
+// the teacher-only path with a typed Status: answers are either
+// bit-identical to a cascade-off build or a typed error, never wrong
+// and never partial. Runs under the `chaos` ctest label.
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "core/explain_ti_model.h"
+#include "core/inference_session.h"
+#include "data/wiki_generator.h"
+#include "golden_evidence.h"
+#include "qa/engine.h"
+#include "qa/query.h"
+#include "serve/server.h"
+#include "util/fault_injection.h"
+
+namespace explainti::qa {
+namespace {
+
+using core::ExplainTiModel;
+using core::InferenceSession;
+using core::TaskKind;
+using util::fault::FaultKind;
+using util::fault::FaultRegistry;
+using util::fault::FaultSpec;
+
+class ArmedFault {
+ public:
+  ArmedFault(const std::string& site, util::StatusCode code,
+             int every_n = 1, int max_fires = -1) {
+    FaultSpec spec;
+    spec.kind = FaultKind::kError;
+    spec.code = code;
+    spec.message = "chaos: " + site;
+    spec.every_n = every_n;
+    spec.max_fires = max_fires;
+    FaultRegistry::Instance().Arm(site, spec);
+  }
+  ~ArmedFault() { FaultRegistry::Instance().DisarmAll(); }
+};
+
+struct SharedModel {
+  SharedModel()
+      : corpus(explainti::testing::GoldenCorpus()),
+        model(explainti::testing::GoldenConfig(), corpus) {
+    model.RefreshStores();
+  }
+  data::TableCorpus corpus;
+  ExplainTiModel model;
+};
+
+const SharedModel& Shared() {
+  static const SharedModel* shared = new SharedModel();
+  return *shared;
+}
+
+QaOptions CascadeOptions() {
+  QaOptions options;
+  options.enable_surrogate = true;
+  options.surrogate_epochs = 20;
+  options.distill_max_samples = 8;
+  return options;
+}
+
+QaQuery FindQuery() {
+  const InferenceSession& session = Shared().model.session();
+  QaQuery query;
+  query.kind = QaQueryKind::kFindColumnsOfType;
+  const int n = static_cast<int>(
+      session.task_data(TaskKind::kType).samples.size());
+  for (int id = 0; id < n && id < 6; ++id) query.sample_ids.push_back(id);
+  query.label_id = session.Predict(TaskKind::kType, 0)[0];
+  query.top_k = 6;
+  return query;
+}
+
+serve::ServeRequest QaRequest(const QaQuery& query) {
+  serve::ServeRequest request;
+  request.method = serve::ServeMethod::kQaAnswer;
+  request.qa = query;
+  return request;
+}
+
+class QaChaosTest : public ::testing::Test {
+ protected:
+  void SetUp() override { FaultRegistry::Instance().DisarmAll(); }
+  void TearDown() override { FaultRegistry::Instance().DisarmAll(); }
+};
+
+// Distillation failure at construction: the engine comes up fail-closed
+// — teacher-only with the typed root cause — and every answer is
+// bit-identical to a cascade-off build.
+TEST_F(QaChaosTest, BuildFaultFailsClosedToTeacherOnly) {
+  const InferenceSession& session = Shared().model.session();
+  QaEngine reference(&session, QaOptions{});
+  const QaQuery query = FindQuery();
+  auto expected = reference.Answer(query);
+  ASSERT_TRUE(expected.ok());
+
+  ArmedFault fault("qa.surrogate_build", util::StatusCode::kInternal);
+  QaEngine crippled(&session, CascadeOptions());
+  EXPECT_FALSE(crippled.surrogate_active());
+  EXPECT_EQ(crippled.surrogate_status().code(),
+            util::StatusCode::kInternal);
+
+  auto answer = crippled.Answer(query);
+  ASSERT_TRUE(answer.ok()) << answer.status().ToString();
+  EXPECT_TRUE(SameAnswer(expected.value(), answer.value()));
+  EXPECT_EQ(answer.value().surrogate_steps, 0);
+  EXPECT_FALSE(answer.value().surrogate_status.ok());
+}
+
+// Score failure mid-answer: the partially-surrogate composition is
+// abandoned, the tier trips, and the SAME query is recomposed entirely
+// on the teacher — bit-identical, no mixed-tier artefacts. The trip is
+// sticky across the disarm.
+TEST_F(QaChaosTest, ScoreFaultMidAnswerRecomposesOnTeacher) {
+  const InferenceSession& session = Shared().model.session();
+  QaEngine reference(&session, QaOptions{});
+  QaEngine cascade(&session, CascadeOptions());
+  ASSERT_TRUE(cascade.surrogate_active());
+  const QaQuery query = FindQuery();
+  auto expected = reference.Answer(query);
+  ASSERT_TRUE(expected.ok());
+
+  {
+    // Fire on the 3rd score: the first two candidates were already
+    // surrogate-scored when the fault lands, so this exercises the
+    // abandon-partial-work path, not just the first-call path.
+    ArmedFault fault("qa.surrogate_score", util::StatusCode::kIoError,
+                     /*every_n=*/3, /*max_fires=*/1);
+    auto degraded = cascade.Answer(query);
+    ASSERT_TRUE(degraded.ok()) << degraded.status().ToString();
+    EXPECT_TRUE(SameAnswer(expected.value(), degraded.value()));
+    EXPECT_EQ(degraded.value().surrogate_steps, 0);
+    EXPECT_EQ(degraded.value().surrogate_status.code(),
+              util::StatusCode::kIoError);
+  }
+  EXPECT_FALSE(cascade.surrogate_active());
+  auto after = cascade.Answer(query);
+  ASSERT_TRUE(after.ok());
+  EXPECT_TRUE(SameAnswer(expected.value(), after.value()));
+  EXPECT_EQ(cascade.surrogate_status().code(),
+            util::StatusCode::kIoError);
+}
+
+// Compose failure is a typed error for the whole answer — no partial
+// entries, no partial justification — and through the server it
+// completes the request with that status (never a dropped callback).
+TEST_F(QaChaosTest, ComposeFaultIsTypedThroughTheServer) {
+  const InferenceSession& session = Shared().model.session();
+  serve::ServerOptions options;
+  options.num_workers = 2;
+  options.qa.enabled = true;
+  serve::InferenceServer server(session, options);
+  const QaQuery query = FindQuery();
+
+  const serve::ServeResponse healthy = server.ServeSync(QaRequest(query));
+  ASSERT_TRUE(healthy.status.ok()) << healthy.status.ToString();
+
+  {
+    ArmedFault fault("qa.compose", util::StatusCode::kInternal,
+                     /*every_n=*/2);
+    int ok = 0, failed = 0;
+    for (int i = 0; i < 8; ++i) {
+      const serve::ServeResponse response =
+          server.ServeSync(QaRequest(query));
+      if (response.status.ok()) {
+        // Served answers are complete and identical to the healthy one.
+        EXPECT_TRUE(SameAnswer(healthy.qa, response.qa));
+        ++ok;
+      } else {
+        EXPECT_EQ(response.status.code(), util::StatusCode::kInternal);
+        EXPECT_TRUE(response.qa.entries.empty());
+        EXPECT_TRUE(response.qa.justification.steps.empty());
+        ++failed;
+      }
+    }
+    EXPECT_EQ(ok + failed, 8);
+    EXPECT_GT(failed, 0);
+    EXPECT_EQ(server.metrics().GetCounter("qa.failed")->Value(), failed);
+  }
+  // Cleared fault: healthy again, and failures were never cached.
+  const serve::ServeResponse recovered = server.ServeSync(QaRequest(query));
+  ASSERT_TRUE(recovered.status.ok());
+  EXPECT_TRUE(SameAnswer(healthy.qa, recovered.qa));
+}
+
+// Distillation outage during a rollout: the swap itself must still
+// succeed (QA is fail-closed, never fail-open and never swap-blocking),
+// and the new generation serves teacher-only QA with the typed status.
+TEST_F(QaChaosTest, BuildFaultMidHotSwapServesTeacherOnlyOnNewGeneration) {
+  const SharedModel& shared = Shared();
+  const InferenceSession& session = shared.model.session();
+  const std::string checkpoint = ::testing::TempDir() + "/qa_chaos_swap.bin";
+  ASSERT_TRUE(shared.model.SaveWeights(checkpoint).ok());
+  util::StatusOr<std::unique_ptr<ExplainTiModel>> replica =
+      core::LoadReplicaForSwap(explainti::testing::GoldenConfig(),
+                               shared.corpus, checkpoint);
+  ASSERT_TRUE(replica.ok()) << replica.status().ToString();
+
+  serve::ServerOptions options;
+  options.num_workers = 2;
+  options.qa.enabled = true;
+  options.qa.options = CascadeOptions();
+  serve::InferenceServer server(session, options);
+  ASSERT_NE(server.qa_engine(), nullptr);
+  ASSERT_TRUE(server.qa_engine()->surrogate_active());
+
+  const QaQuery query = FindQuery();
+  // Teacher-only reference from a cascade-off engine on the same model.
+  QaEngine reference(&session, QaOptions{});
+  auto expected = reference.Answer(query);
+  ASSERT_TRUE(expected.ok());
+
+  {
+    ArmedFault fault("qa.surrogate_build", util::StatusCode::kIoError);
+    ASSERT_TRUE(server.SwapSession(replica.value()->session()).ok());
+  }
+  EXPECT_EQ(server.current_generation(), 2u);
+  ASSERT_NE(server.qa_engine(), nullptr);
+  EXPECT_FALSE(server.qa_engine()->surrogate_active());
+  EXPECT_EQ(server.qa_engine()->surrogate_status().code(),
+            util::StatusCode::kIoError);
+
+  const serve::ServeResponse response = server.ServeSync(QaRequest(query));
+  ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+  EXPECT_EQ(response.model_generation, 2u);
+  // Same weights via the checkpoint round-trip: the teacher-only answer
+  // on generation 2 is bit-identical to the cascade-off reference.
+  EXPECT_TRUE(SameAnswer(expected.value(), response.qa));
+  EXPECT_EQ(response.qa.surrogate_steps, 0);
+  EXPECT_FALSE(response.qa.surrogate_status.ok());
+  EXPECT_EQ(server.metrics().GetCounter("qa.surrogate_answered")->Value(),
+            0);
+}
+
+// Sustained score outage under live server traffic: the first fault
+// trips the tier, and from then on every response is OK, teacher-tier,
+// and identical — the cascade never flaps back to a broken surrogate.
+TEST_F(QaChaosTest, ScoreStormUnderLiveTrafficNeverServesWrongAnswers) {
+  const InferenceSession& session = Shared().model.session();
+  serve::ServerOptions options;
+  options.num_workers = 2;
+  options.qa.enabled = true;
+  options.qa.options = CascadeOptions();
+  options.qa.options.confidence_threshold = 0.0f;  // All-surrogate routing.
+  serve::InferenceServer server(session, options);
+  ASSERT_TRUE(server.qa_engine()->surrogate_active());
+
+  QaEngine reference(&session, QaOptions{});
+  const QaQuery query = FindQuery();
+  auto expected = reference.Answer(query);
+  ASSERT_TRUE(expected.ok());
+
+  ArmedFault fault("qa.surrogate_score", util::StatusCode::kIoError);
+  for (int i = 0; i < 6; ++i) {
+    const serve::ServeResponse response = server.ServeSync(QaRequest(query));
+    ASSERT_TRUE(response.status.ok()) << response.status.ToString();
+    EXPECT_TRUE(SameAnswer(expected.value(), response.qa));
+    EXPECT_EQ(response.qa.surrogate_steps, 0);
+    EXPECT_EQ(response.qa.surrogate_status.code(),
+              util::StatusCode::kIoError);
+  }
+  EXPECT_EQ(server.metrics().GetCounter("qa.surrogate_answered")->Value(),
+            0);
+  EXPECT_EQ(server.metrics().GetCounter("qa.answered")->Value(), 6);
+}
+
+}  // namespace
+}  // namespace explainti::qa
